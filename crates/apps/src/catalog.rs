@@ -1,0 +1,133 @@
+//! Workload catalog: build any Table II app by id.
+
+use iotse_core::workload::{AppId, Workload};
+
+use crate::table2::{
+    ArduinoJson, Blynk, CoapServer, DropboxManager, EarthquakeDetection, FingerprintRegister,
+    HeartbeatIrregularity, JpegDecoder, M2xClient, SpeechToText, StepCounter,
+};
+
+/// Number of people the default world enrolls (matches
+/// [`WorldConfig::default`](iotse_sensors::world::WorldConfig)).
+pub const DEFAULT_ENROLLED_PEOPLE: u32 = 4;
+
+/// Builds one workload. `seed` must match the scenario seed (only A10's
+/// fingerprint database actually derives state from it).
+///
+/// # Examples
+///
+/// ```
+/// use iotse_apps::catalog;
+/// use iotse_core::AppId;
+///
+/// let a2 = catalog::app(AppId::A2, 42);
+/// assert_eq!(a2.name(), "Step counter");
+/// assert_eq!(iotse_core::workload::window_interrupts(a2.as_ref()), 1000);
+/// ```
+#[must_use]
+pub fn app(id: AppId, seed: u64) -> Box<dyn Workload> {
+    match id {
+        AppId::A1 => Box::new(CoapServer::new()),
+        AppId::A2 => Box::new(StepCounter::new()),
+        AppId::A3 => Box::new(ArduinoJson::new()),
+        AppId::A4 => Box::new(M2xClient::new()),
+        AppId::A5 => Box::new(Blynk::new()),
+        AppId::A6 => Box::new(DropboxManager::new()),
+        AppId::A7 => Box::new(EarthquakeDetection::new()),
+        AppId::A8 => Box::new(HeartbeatIrregularity::new()),
+        AppId::A9 => Box::new(JpegDecoder::new()),
+        AppId::A10 => Box::new(FingerprintRegister::new(seed, DEFAULT_ENROLLED_PEOPLE)),
+        AppId::A11 => Box::new(SpeechToText::new()),
+    }
+}
+
+/// Builds several workloads at once.
+#[must_use]
+pub fn apps(ids: &[AppId], seed: u64) -> Vec<Box<dyn Workload>> {
+    ids.iter().map(|&id| app(id, seed)).collect()
+}
+
+/// The ten light-weight apps A1–A10, in order.
+#[must_use]
+pub fn light_apps(seed: u64) -> Vec<Box<dyn Workload>> {
+    apps(&AppId::LIGHT, seed)
+}
+
+/// The 14 sensor-sharing combinations of the paper's Figure 11, in figure
+/// order.
+#[must_use]
+pub fn figure11_combinations() -> Vec<Vec<AppId>> {
+    use AppId::{A2, A3, A4, A5, A7};
+    vec![
+        vec![A2, A5],
+        vec![A5, A7],
+        vec![A4, A5],
+        vec![A3, A5],
+        vec![A2, A7],
+        vec![A2, A4],
+        vec![A4, A7],
+        vec![A3, A4],
+        vec![A2, A5, A7],
+        vec![A2, A4, A5],
+        vec![A5, A7, A4],
+        vec![A3, A4, A5],
+        vec![A2, A4, A7],
+        vec![A2, A4, A5, A7],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_every_app_with_its_id() {
+        for id in AppId::ALL {
+            let a = app(id, 42);
+            assert_eq!(a.id(), id);
+            assert!(!a.sensors().is_empty(), "{id} has sensors");
+        }
+    }
+
+    #[test]
+    fn light_apps_are_the_ten_light_ids() {
+        let apps = light_apps(1);
+        assert_eq!(apps.len(), 10);
+        for (a, id) in apps.iter().zip(AppId::LIGHT) {
+            assert_eq!(a.id(), id);
+        }
+    }
+
+    #[test]
+    fn figure11_has_fourteen_sharing_combinations() {
+        let combos = figure11_combinations();
+        assert_eq!(combos.len(), 14);
+        for combo in &combos {
+            // Every combination shares at least one sensor between at
+            // least two members (the premise of Figure 11).
+            let apps = apps(combo, 1);
+            let mut shared = false;
+            for i in 0..apps.len() {
+                for j in i + 1..apps.len() {
+                    let si: Vec<_> = apps[i].sensors().iter().map(|u| u.sensor).collect();
+                    shared |= apps[j].sensors().iter().any(|u| si.contains(&u.sensor));
+                }
+            }
+            assert!(shared, "combo {combo:?} shares nothing");
+        }
+    }
+
+    #[test]
+    fn all_light_apps_are_admitted_individually() {
+        use iotse_core::admission::classify;
+        use iotse_core::calibration::Calibration;
+        let cal = Calibration::paper();
+        for a in light_apps(7) {
+            assert!(
+                classify(a.as_ref(), &cal).is_light(),
+                "{} must be light",
+                a.name()
+            );
+        }
+    }
+}

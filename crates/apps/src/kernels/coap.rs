@@ -1,0 +1,433 @@
+//! A CoAP (RFC 7252) message codec — the protocol kernel behind A1.
+//!
+//! Implements the subset a sensor server exercises: the 4-byte fixed
+//! header, tokens, delta-encoded options (with extended deltas/lengths),
+//! the payload marker, and round-trip encode/decode.
+
+use std::fmt;
+
+/// CoAP message type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoapType {
+    /// Requires an acknowledgement.
+    Confirmable,
+    /// Fire-and-forget.
+    NonConfirmable,
+    /// Acknowledges a confirmable message.
+    Acknowledgement,
+    /// Rejects a message.
+    Reset,
+}
+
+impl CoapType {
+    fn to_bits(self) -> u8 {
+        match self {
+            CoapType::Confirmable => 0,
+            CoapType::NonConfirmable => 1,
+            CoapType::Acknowledgement => 2,
+            CoapType::Reset => 3,
+        }
+    }
+
+    fn from_bits(b: u8) -> CoapType {
+        match b & 0b11 {
+            0 => CoapType::Confirmable,
+            1 => CoapType::NonConfirmable,
+            2 => CoapType::Acknowledgement,
+            _ => CoapType::Reset,
+        }
+    }
+}
+
+/// A CoAP code as `class.detail` (e.g. `0.01` GET, `2.05` Content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoapCode {
+    /// The 3-bit class.
+    pub class: u8,
+    /// The 5-bit detail.
+    pub detail: u8,
+}
+
+impl CoapCode {
+    /// `0.01` GET.
+    pub const GET: CoapCode = CoapCode {
+        class: 0,
+        detail: 1,
+    };
+    /// `0.02` POST.
+    pub const POST: CoapCode = CoapCode {
+        class: 0,
+        detail: 2,
+    };
+    /// `2.05` Content.
+    pub const CONTENT: CoapCode = CoapCode {
+        class: 2,
+        detail: 5,
+    };
+    /// `4.04` Not Found.
+    pub const NOT_FOUND: CoapCode = CoapCode {
+        class: 4,
+        detail: 4,
+    };
+
+    fn to_byte(self) -> u8 {
+        (self.class << 5) | (self.detail & 0x1F)
+    }
+
+    fn from_byte(b: u8) -> CoapCode {
+        CoapCode {
+            class: b >> 5,
+            detail: b & 0x1F,
+        }
+    }
+}
+
+impl fmt::Display for CoapCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:02}", self.class, self.detail)
+    }
+}
+
+/// One CoAP option (number + raw value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapOption {
+    /// The option number (11 = Uri-Path, 12 = Content-Format, …).
+    pub number: u16,
+    /// The raw option value.
+    pub value: Vec<u8>,
+}
+
+/// Uri-Path option number.
+pub const OPT_URI_PATH: u16 = 11;
+/// Content-Format option number.
+pub const OPT_CONTENT_FORMAT: u16 = 12;
+/// Observe option number.
+pub const OPT_OBSERVE: u16 = 6;
+
+/// A CoAP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapMessage {
+    /// Message semantics.
+    pub mtype: CoapType,
+    /// Request/response code.
+    pub code: CoapCode,
+    /// Message id for deduplication/acknowledgement.
+    pub message_id: u16,
+    /// 0–8 byte token correlating requests and responses.
+    pub token: Vec<u8>,
+    /// Options sorted by number (encoding requires it; decode preserves it).
+    pub options: Vec<CoapOption>,
+    /// Payload (empty = none).
+    pub payload: Vec<u8>,
+}
+
+/// A malformed-message error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeCoapError(pub String);
+
+impl fmt::Display for DecodeCoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed CoAP message: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeCoapError {}
+
+impl CoapMessage {
+    /// Builds a GET request for a `/`-separated path.
+    #[must_use]
+    pub fn get(message_id: u16, token: &[u8], path: &str) -> CoapMessage {
+        let options = path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|seg| CoapOption {
+                number: OPT_URI_PATH,
+                value: seg.as_bytes().to_vec(),
+            })
+            .collect();
+        CoapMessage {
+            mtype: CoapType::Confirmable,
+            code: CoapCode::GET,
+            message_id,
+            token: token.to_vec(),
+            options,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds a `2.05 Content` response carrying `payload`.
+    #[must_use]
+    pub fn content(message_id: u16, token: &[u8], payload: Vec<u8>) -> CoapMessage {
+        CoapMessage {
+            mtype: CoapType::Acknowledgement,
+            code: CoapCode::CONTENT,
+            message_id,
+            token: token.to_vec(),
+            options: vec![CoapOption {
+                number: OPT_CONTENT_FORMAT,
+                value: vec![50], // application/json
+            }],
+            payload,
+        }
+    }
+
+    /// The Uri-Path reassembled from options.
+    #[must_use]
+    pub fn uri_path(&self) -> String {
+        self.options
+            .iter()
+            .filter(|o| o.number == OPT_URI_PATH)
+            .map(|o| String::from_utf8_lossy(&o.value).into_owned())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    /// Encodes to wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token exceeds 8 bytes or options are not sorted by
+    /// number (RFC 7252 requires delta encoding over sorted options).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.token.len() <= 8, "token too long");
+        assert!(
+            self.options.windows(2).all(|w| w[0].number <= w[1].number),
+            "options must be sorted by number"
+        );
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        out.push(0x40 | (self.mtype.to_bits() << 4) | self.token.len() as u8);
+        out.push(self.code.to_byte());
+        out.extend_from_slice(&self.message_id.to_be_bytes());
+        out.extend_from_slice(&self.token);
+        let mut last = 0u16;
+        for opt in &self.options {
+            let delta = opt.number - last;
+            last = opt.number;
+            let (dn, dext) = nibble(delta);
+            let (ln, lext) = nibble(opt.value.len() as u16);
+            out.push((dn << 4) | ln);
+            out.extend_from_slice(&dext);
+            out.extend_from_slice(&lext);
+            out.extend_from_slice(&opt.value);
+        }
+        if !self.payload.is_empty() {
+            out.push(0xFF);
+            out.extend_from_slice(&self.payload);
+        }
+        out
+    }
+
+    /// Decodes from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeCoapError`] on truncated or malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<CoapMessage, DecodeCoapError> {
+        let err = |m: &str| DecodeCoapError(m.to_string());
+        if bytes.len() < 4 {
+            return Err(err("shorter than fixed header"));
+        }
+        if bytes[0] >> 6 != 1 {
+            return Err(err("unsupported version"));
+        }
+        let mtype = CoapType::from_bits(bytes[0] >> 4);
+        let tkl = (bytes[0] & 0x0F) as usize;
+        if tkl > 8 {
+            return Err(err("token length above 8"));
+        }
+        let code = CoapCode::from_byte(bytes[1]);
+        let message_id = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let mut pos = 4;
+        if pos + tkl > bytes.len() {
+            return Err(err("truncated token"));
+        }
+        let token = bytes[pos..pos + tkl].to_vec();
+        pos += tkl;
+
+        let mut options = Vec::new();
+        let mut number = 0u16;
+        let mut payload = Vec::new();
+        while pos < bytes.len() {
+            if bytes[pos] == 0xFF {
+                pos += 1;
+                if pos == bytes.len() {
+                    return Err(err("payload marker with empty payload"));
+                }
+                payload = bytes[pos..].to_vec();
+                break;
+            }
+            let dn = bytes[pos] >> 4;
+            let ln = bytes[pos] & 0x0F;
+            pos += 1;
+            let delta = read_ext(bytes, &mut pos, dn).ok_or_else(|| err("bad option delta"))?;
+            let len =
+                read_ext(bytes, &mut pos, ln).ok_or_else(|| err("bad option length"))? as usize;
+            number = number
+                .checked_add(delta)
+                .ok_or_else(|| err("option number overflow"))?;
+            if pos + len > bytes.len() {
+                return Err(err("truncated option value"));
+            }
+            options.push(CoapOption {
+                number,
+                value: bytes[pos..pos + len].to_vec(),
+            });
+            pos += len;
+        }
+        Ok(CoapMessage {
+            mtype,
+            code,
+            message_id,
+            token,
+            options,
+            payload,
+        })
+    }
+}
+
+/// Splits a delta/length into its nibble and extended bytes per RFC 7252.
+fn nibble(v: u16) -> (u8, Vec<u8>) {
+    match v {
+        0..=12 => (v as u8, Vec::new()),
+        13..=268 => (13, vec![(v - 13) as u8]),
+        _ => (14, (v - 269).to_be_bytes().to_vec()),
+    }
+}
+
+fn read_ext(bytes: &[u8], pos: &mut usize, n: u8) -> Option<u16> {
+    match n {
+        0..=12 => Some(u16::from(n)),
+        13 => {
+            let b = *bytes.get(*pos)?;
+            *pos += 1;
+            Some(u16::from(b) + 13)
+        }
+        14 => {
+            let hi = *bytes.get(*pos)?;
+            let lo = *bytes.get(*pos + 1)?;
+            *pos += 2;
+            Some(u16::from_be_bytes([hi, lo]).checked_add(269)?)
+        }
+        _ => None, // 15 is reserved (payload marker nibble)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_request_round_trips() {
+        let req = CoapMessage::get(0x1234, &[0xAB, 0xCD], "sensors/light");
+        let wire = req.encode();
+        let back = CoapMessage::decode(&wire).expect("decodes");
+        assert_eq!(back, req);
+        assert_eq!(back.uri_path(), "sensors/light");
+        assert_eq!(back.code, CoapCode::GET);
+        assert_eq!(back.message_id, 0x1234);
+    }
+
+    #[test]
+    fn content_response_round_trips_with_payload() {
+        let resp = CoapMessage::content(7, &[1], br#"{"lux":312.5}"#.to_vec());
+        let wire = resp.encode();
+        let back = CoapMessage::decode(&wire).expect("decodes");
+        assert_eq!(back, resp);
+        assert_eq!(back.payload, br#"{"lux":312.5}"#);
+        assert_eq!(back.options[0].number, OPT_CONTENT_FORMAT);
+    }
+
+    #[test]
+    fn header_bytes_match_rfc_layout() {
+        let req = CoapMessage::get(0x0102, &[], "x");
+        let wire = req.encode();
+        // Version 1, type CON (0), TKL 0 ⇒ 0x40.
+        assert_eq!(wire[0], 0x40);
+        // GET ⇒ 0.01 ⇒ 0x01.
+        assert_eq!(wire[1], 0x01);
+        assert_eq!(&wire[2..4], &[0x01, 0x02]);
+        // First option: delta 11 (Uri-Path), length 1.
+        assert_eq!(wire[4], 0xB1);
+        assert_eq!(wire[5], b'x');
+    }
+
+    #[test]
+    fn extended_option_deltas_encode() {
+        // Observe(6) then a large custom option number forces the 14-nibble.
+        let msg = CoapMessage {
+            mtype: CoapType::NonConfirmable,
+            code: CoapCode::CONTENT,
+            message_id: 1,
+            token: vec![],
+            options: vec![
+                CoapOption {
+                    number: OPT_OBSERVE,
+                    value: vec![0x01],
+                },
+                CoapOption {
+                    number: 2000,
+                    value: vec![0u8; 300],
+                },
+            ],
+            payload: vec![0xAA],
+        };
+        let back = CoapMessage::decode(&msg.encode()).expect("decodes");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn rejects_malformed_messages() {
+        assert!(CoapMessage::decode(&[]).is_err());
+        assert!(
+            CoapMessage::decode(&[0x00, 0x01, 0x00, 0x01]).is_err(),
+            "wrong version"
+        );
+        assert!(
+            CoapMessage::decode(&[0x49, 0x01, 0x00, 0x01]).is_err(),
+            "TKL 9"
+        );
+        // Payload marker with nothing after it.
+        assert!(CoapMessage::decode(&[0x40, 0x01, 0x00, 0x01, 0xFF]).is_err());
+        // Truncated option value.
+        assert!(CoapMessage::decode(&[0x40, 0x01, 0x00, 0x01, 0xB5, b'x']).is_err());
+    }
+
+    #[test]
+    fn multi_segment_paths() {
+        let req = CoapMessage::get(1, &[], "a/b/c/d");
+        let back = CoapMessage::decode(&req.encode()).expect("decodes");
+        assert_eq!(back.uri_path(), "a/b/c/d");
+        assert_eq!(back.options.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_options_panic_on_encode() {
+        let msg = CoapMessage {
+            mtype: CoapType::Confirmable,
+            code: CoapCode::GET,
+            message_id: 1,
+            token: vec![],
+            options: vec![
+                CoapOption {
+                    number: 12,
+                    value: vec![],
+                },
+                CoapOption {
+                    number: 11,
+                    value: vec![],
+                },
+            ],
+            payload: vec![],
+        };
+        let _ = msg.encode();
+    }
+
+    #[test]
+    fn code_display() {
+        assert_eq!(CoapCode::GET.to_string(), "0.01");
+        assert_eq!(CoapCode::CONTENT.to_string(), "2.05");
+        assert_eq!(CoapCode::NOT_FOUND.to_string(), "4.04");
+    }
+}

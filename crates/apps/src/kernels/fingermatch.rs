@@ -1,0 +1,226 @@
+//! Minutiae-based fingerprint matching — the A10 kernel.
+//!
+//! Enroll/identify over the 512-byte signatures S3 emits: greedy one-to-one
+//! minutiae pairing within a spatial/angular tolerance, scored by the
+//! matched fraction. The matcher never reads the person-id bytes embedded
+//! in the wire format — tests verify it identifies people from geometry
+//! alone.
+
+use iotse_sensors::signal::fingerprint::{FingerTemplate, Minutia};
+
+/// Matching tolerances and acceptance threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchConfig {
+    /// Maximum position distance (Chebyshev, grid units) for a pair.
+    pub position_tolerance: i16,
+    /// Maximum angular distance (wrapping, 0–255 units) for a pair.
+    pub angle_tolerance: i16,
+    /// Minimum matched fraction of the smaller template to accept.
+    pub accept_fraction: f64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            position_tolerance: 6,
+            angle_tolerance: 10,
+            accept_fraction: 0.5,
+        }
+    }
+}
+
+/// A fingerprint database with enroll and identify operations.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_apps::kernels::fingermatch::{FingerDb, MatchConfig};
+/// use iotse_sensors::signal::fingerprint::{FingerTemplate, FingerprintScanner};
+/// use iotse_sim::rng::SeedTree;
+///
+/// let seeds = SeedTree::new(9);
+/// let mut db = FingerDb::new(MatchConfig::default());
+/// for person in 0..3 {
+///     db.enroll(person, FingerTemplate::of_person(&seeds, person));
+/// }
+/// let mut scanner = FingerprintScanner::new(&seeds);
+/// let scan = scanner.scan(1);
+/// assert_eq!(db.identify(&scan.minutiae), Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FingerDb {
+    config: MatchConfig,
+    enrolled: Vec<(u32, Vec<Minutia>)>,
+}
+
+impl FingerDb {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new(config: MatchConfig) -> Self {
+        FingerDb {
+            config,
+            enrolled: Vec::new(),
+        }
+    }
+
+    /// Number of enrolled people.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.enrolled.len()
+    }
+
+    /// `true` if nobody is enrolled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.enrolled.is_empty()
+    }
+
+    /// Registers `person` with their reference template (replacing an
+    /// earlier enrollment of the same person).
+    pub fn enroll(&mut self, person: u32, template: FingerTemplate) {
+        self.enrolled.retain(|(p, _)| *p != person);
+        self.enrolled.push((person, template.minutiae));
+    }
+
+    /// The similarity score of `scan` against one enrolled template:
+    /// the matched fraction of the smaller minutiae set, in `[0, 1]`.
+    #[must_use]
+    pub fn score(&self, scan: &[Minutia], reference: &[Minutia]) -> f64 {
+        if scan.is_empty() || reference.is_empty() {
+            return 0.0;
+        }
+        // Greedy one-to-one assignment: each reference minutia may be
+        // claimed once.
+        let mut claimed = vec![false; reference.len()];
+        let mut matched = 0usize;
+        for s in scan {
+            let mut best: Option<(usize, i32)> = None;
+            for (j, r) in reference.iter().enumerate() {
+                if claimed[j] {
+                    continue;
+                }
+                let dx = (i16::from(s.x) - i16::from(r.x)).abs();
+                let dy = (i16::from(s.y) - i16::from(r.y)).abs();
+                let da = angle_distance(s.angle, r.angle);
+                if dx <= self.config.position_tolerance
+                    && dy <= self.config.position_tolerance
+                    && da <= self.config.angle_tolerance
+                {
+                    let cost = i32::from(dx) + i32::from(dy) + i32::from(da);
+                    if best.is_none_or(|(_, c)| cost < c) {
+                        best = Some((j, cost));
+                    }
+                }
+            }
+            if let Some((j, _)) = best {
+                claimed[j] = true;
+                matched += 1;
+            }
+        }
+        matched as f64 / scan.len().min(reference.len()) as f64
+    }
+
+    /// Identifies the scan: the best-scoring enrolled person at or above
+    /// the acceptance threshold, or `None`.
+    #[must_use]
+    pub fn identify(&self, scan: &[Minutia]) -> Option<u32> {
+        self.enrolled
+            .iter()
+            .map(|(p, reference)| (*p, self.score(scan, reference)))
+            .filter(|&(_, s)| s >= self.config.accept_fraction)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .map(|(p, _)| p)
+    }
+}
+
+/// Wrapping distance between two 0–255 angles.
+fn angle_distance(a: u8, b: u8) -> i16 {
+    let d = (i16::from(a) - i16::from(b)).rem_euclid(256);
+    d.min(256 - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_sensors::signal::fingerprint::FingerprintScanner;
+    use iotse_sim::rng::SeedTree;
+
+    fn seeded_db(people: u32, seed: u64) -> (FingerDb, FingerprintScanner) {
+        let seeds = SeedTree::new(seed);
+        let mut db = FingerDb::new(MatchConfig::default());
+        for p in 0..people {
+            db.enroll(p, FingerTemplate::of_person(&seeds, p));
+        }
+        (db, FingerprintScanner::new(&seeds))
+    }
+
+    #[test]
+    fn identifies_every_enrolled_person() {
+        let (db, mut scanner) = seeded_db(4, 11);
+        for p in 0..4 {
+            for _ in 0..3 {
+                let scan = scanner.scan(p);
+                assert_eq!(db.identify(&scan.minutiae), Some(p), "person {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unenrolled_people() {
+        let (db, mut scanner) = seeded_db(2, 12);
+        for stranger in 10..14 {
+            let scan = scanner.scan(stranger);
+            assert_eq!(db.identify(&scan.minutiae), None, "stranger {stranger}");
+        }
+    }
+
+    #[test]
+    fn identity_score_is_perfect() {
+        let seeds = SeedTree::new(13);
+        let t = FingerTemplate::of_person(&seeds, 0);
+        let db = FingerDb::new(MatchConfig::default());
+        assert_eq!(db.score(&t.minutiae, &t.minutiae), 1.0);
+    }
+
+    #[test]
+    fn does_not_cheat_by_reading_person_ids() {
+        // Re-encode a scan of person 0 with a forged id of 1; the matcher
+        // must still answer 0 because only geometry matters.
+        let (db, mut scanner) = seeded_db(2, 14);
+        let mut scan = scanner.scan(0);
+        scan.person = 1;
+        let wire = scan.encode();
+        let decoded = FingerTemplate::decode(&wire).expect("decodes");
+        assert_eq!(decoded.person, 1, "forged id survives the wire");
+        assert_eq!(db.identify(&decoded.minutiae), Some(0), "geometry wins");
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let (db, mut scanner) = seeded_db(1, 15);
+        assert_eq!(db.identify(&[]), None);
+        let scan = scanner.scan(0);
+        assert_eq!(db.score(&scan.minutiae, &[]), 0.0);
+    }
+
+    #[test]
+    fn re_enrolling_replaces() {
+        let seeds = SeedTree::new(16);
+        let mut db = FingerDb::new(MatchConfig::default());
+        db.enroll(0, FingerTemplate::of_person(&seeds, 0));
+        db.enroll(0, FingerTemplate::of_person(&seeds, 5));
+        assert_eq!(db.len(), 1);
+        // Now a scan of "person 5"'s geometry identifies as enrolled id 0.
+        let mut scanner = FingerprintScanner::new(&seeds);
+        let scan = scanner.scan(5);
+        assert_eq!(db.identify(&scan.minutiae), Some(0));
+    }
+
+    #[test]
+    fn angle_distance_wraps() {
+        assert_eq!(angle_distance(0, 255), 1);
+        assert_eq!(angle_distance(10, 250), 16);
+        assert_eq!(angle_distance(128, 0), 128);
+        assert_eq!(angle_distance(7, 7), 0);
+    }
+}

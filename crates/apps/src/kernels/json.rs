@@ -1,0 +1,469 @@
+//! A small JSON document library — the arduinoJSON stand-in behind A3, and
+//! the payload formatter for the M2X/Blynk/Dropbox protocol apps.
+//!
+//! Implements the subset the workloads exercise: objects, arrays, strings
+//! (with escapes), finite numbers, booleans and null; a serializer; and a
+//! recursive-descent parser. Round-tripping is property-tested at the
+//! workspace level.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (serialized in shortest-round-trip form).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array.
+    #[must_use]
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// The value at `key`, if this is an object containing it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document contains a non-finite number (JSON cannot
+    /// represent NaN/∞; construction should have prevented it).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(x) => {
+                assert!(x.is_finite(), "JSON cannot represent {x}");
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{}", *x as i64));
+                } else {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+                }
+            }
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseJsonError`] describing the first syntax problem.
+    pub fn parse(text: &str) -> Result<Json, ParseJsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJsonError {
+    /// Byte offset of the problem.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseJsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseJsonError {
+        ParseJsonError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseJsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseJsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseJsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseJsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).ok_or_else(|| self.err("bad code point"))?);
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(c) => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        if start + width > self.bytes.len() {
+                            return Err(self.err("truncated UTF-8"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..start + width])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        out.push_str(s);
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Json::Number)
+            .ok_or_else(|| self.err(format!("bad number '{text}'")))
+    }
+
+    fn array(&mut self) -> Result<Json, ParseJsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseJsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(map)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_compactly_and_deterministically() {
+        let doc = Json::object([
+            ("sensor", Json::String("barometer".into())),
+            ("hpa", Json::Number(1013.25)),
+            ("ok", Json::Bool(true)),
+            ("tags", Json::array([Json::Number(1.0), Json::Null])),
+        ]);
+        assert_eq!(
+            doc.to_text(),
+            r#"{"hpa":1013.25,"ok":true,"sensor":"barometer","tags":[1,null]}"#
+        );
+    }
+
+    #[test]
+    fn parses_what_it_prints() {
+        let doc = Json::object([
+            ("a", Json::Number(-2.5)),
+            ("b", Json::String("x\"y\\z\n".into())),
+            (
+                "c",
+                Json::array([Json::Bool(false), Json::object([("d", Json::Null)])]),
+            ),
+        ]);
+        let text = doc.to_text();
+        assert_eq!(Json::parse(&text).expect("round-trips"), doc);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(Json::Number(42.0).to_text(), "42");
+        assert_eq!(Json::Number(42.5).to_text(), "42.5");
+        assert_eq!(Json::Number(-0.0).to_text(), "0");
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2.5e1 , \"s\" ] , \"b\" : { } } ").expect("parses");
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(25.0)
+        );
+        assert_eq!(v.get("b"), Some(&Json::Object(BTreeMap::new())));
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_utf8() {
+        let v = Json::parse(r#""é café ☕""#).expect("parses");
+        assert_eq!(v.as_str(), Some("é café ☕"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"abc",
+            "{\"a\" 1}",
+            "[1] x",
+            "nan",
+            "01a",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = Json::parse("[1, ?]").expect_err("bad");
+        assert_eq!(e.position, 4);
+        assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "JSON cannot represent")]
+    fn non_finite_numbers_panic_on_serialize() {
+        let _ = Json::Number(f64::NAN).to_text();
+    }
+
+    #[test]
+    fn deep_round_trip_with_many_values() {
+        let doc = Json::array((0..100).map(|i| {
+            Json::object([
+                ("i", Json::Number(f64::from(i))),
+                ("x", Json::Number(f64::from(i) * 0.1)),
+                ("s", Json::String(format!("v{i}"))),
+            ])
+        }));
+        let text = doc.to_text();
+        assert_eq!(Json::parse(&text).expect("round-trips"), doc);
+    }
+}

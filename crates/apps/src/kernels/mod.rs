@@ -1,0 +1,20 @@
+//! The real application kernels behind the Table II workloads.
+//!
+//! Each module is a small, self-contained library doing the actual job the
+//! paper's app did — the executor only models *where* and *how long* the
+//! kernel runs; the kernel itself computes real answers over real (synthetic)
+//! data, which is what the functional tests check against ground truth.
+
+pub mod coap;
+pub mod fingermatch;
+pub mod jpeg;
+pub mod json;
+pub mod qrs;
+pub mod speech;
+pub mod stalta;
+pub mod stepcount;
+pub mod sync;
+
+/// Standard gravity, m/s² (re-exported for kernels that de-bias
+/// accelerometer data).
+pub const GRAVITY: f64 = iotse_sensors::signal::gait::GRAVITY;

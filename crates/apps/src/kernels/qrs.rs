@@ -1,0 +1,270 @@
+//! Beat detection and rhythm analysis — the A8 kernel.
+//!
+//! A Pan–Tompkins-flavoured pipeline over the pulse sensor's ADC stream:
+//! bandpass-ish differencing, squaring, moving-window integration, adaptive
+//! thresholding with a refractory period — then RR-interval analysis that
+//! flags premature beats (an RR interval much shorter than the running
+//! median). State persists across windows because rhythm only exists
+//! across beats.
+
+/// Tuning of the beat detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QrsConfig {
+    /// Sample rate, Hz.
+    pub sample_rate_hz: f64,
+    /// Integration window, samples.
+    pub integration_samples: usize,
+    /// Refractory period, seconds (a heart cannot beat twice in 250 ms).
+    pub refractory_s: f64,
+    /// An RR below this fraction of the running median is premature.
+    pub premature_fraction: f64,
+}
+
+impl Default for QrsConfig {
+    fn default() -> Self {
+        QrsConfig {
+            sample_rate_hz: 1000.0,
+            integration_samples: 30,
+            refractory_s: 0.25,
+            premature_fraction: 0.80,
+        }
+    }
+}
+
+/// Summary of one analysis window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RhythmSummary {
+    /// Beats detected in the window.
+    pub beats: u32,
+    /// Beats flagged premature.
+    pub irregular: u32,
+}
+
+/// The stateful beat detector and rhythm analyser.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_apps::kernels::qrs::{QrsConfig, QrsDetector};
+/// use iotse_sensors::signal::ecg::{EcgGenerator, EcgProfile};
+/// use iotse_sim::rng::SeedTree;
+/// use iotse_sim::time::SimTime;
+///
+/// let generator = EcgGenerator::new(&SeedTree::new(1), EcgProfile::default(), SimTime::from_secs(10));
+/// let mut detector = QrsDetector::new(QrsConfig::default());
+/// let mut beats = 0;
+/// for w in 0..10u64 {
+///     let samples: Vec<f64> = (0..1000)
+///         .map(|ms| generator.value_at(SimTime::from_millis(w * 1000 + ms)))
+///         .collect();
+///     beats += detector.process_window(&samples).beats;
+/// }
+/// // 72 bpm over 10 s ⇒ about 12 beats detected (edge beats may slip a window).
+/// assert!((10..=14).contains(&beats), "got {beats}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrsDetector {
+    config: QrsConfig,
+    integrator: Vec<f64>,
+    int_pos: usize,
+    int_sum: f64,
+    prev: f64,
+    threshold: f64,
+    noise_level: f64,
+    samples_seen: u64,
+    last_beat_at: Option<u64>,
+    rr_history: Vec<f64>,
+}
+
+impl QrsDetector {
+    /// Creates a detector with adaptive thresholds uncharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate.
+    #[must_use]
+    pub fn new(config: QrsConfig) -> Self {
+        assert!(config.sample_rate_hz > 0.0, "sample rate must be positive");
+        assert!(
+            config.integration_samples > 0,
+            "integration window must be non-empty"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.premature_fraction),
+            "premature fraction must be in (0, 1)"
+        );
+        QrsDetector {
+            config,
+            integrator: vec![0.0; config.integration_samples],
+            int_pos: 0,
+            int_sum: 0.0,
+            prev: 0.0,
+            threshold: 0.0,
+            noise_level: 0.0,
+            samples_seen: 0,
+            last_beat_at: None,
+            rr_history: Vec::new(),
+        }
+    }
+
+    /// RR intervals (seconds) observed so far, oldest first.
+    #[must_use]
+    pub fn rr_intervals(&self) -> &[f64] {
+        &self.rr_history
+    }
+
+    /// Feeds one window of raw ADC samples and returns its rhythm summary.
+    pub fn process_window(&mut self, samples: &[f64]) -> RhythmSummary {
+        let refractory = (self.config.refractory_s * self.config.sample_rate_hz) as u64;
+        let mut out = RhythmSummary::default();
+        for &x in samples {
+            self.samples_seen += 1;
+            // Derivative emphasises the QRS slope; square rectifies.
+            let d = x - self.prev;
+            self.prev = x;
+            let energy = d * d;
+            // Moving-window integration.
+            self.int_sum += energy - self.integrator[self.int_pos];
+            self.integrator[self.int_pos] = energy;
+            self.int_pos = (self.int_pos + 1) % self.integrator.len();
+            let feature = self.int_sum / self.integrator.len() as f64;
+
+            // Adaptive threshold à la Pan–Tompkins.
+            let spaced = self
+                .last_beat_at
+                .is_none_or(|l| self.samples_seen - l >= refractory);
+            let warmup = self.samples_seen < self.integrator.len() as u64 * 2;
+            if !warmup && spaced && feature > self.threshold.max(self.noise_level * 4.0 + 1e-9) {
+                out.beats += 1;
+                if let Some(last) = self.last_beat_at {
+                    let rr = (self.samples_seen - last) as f64 / self.config.sample_rate_hz;
+                    if self.is_premature(rr) {
+                        out.irregular += 1;
+                    }
+                    self.rr_history.push(rr);
+                }
+                self.last_beat_at = Some(self.samples_seen);
+                self.threshold = 0.7 * feature + 0.3 * self.threshold;
+            } else {
+                if spaced {
+                    // Track the noise floor only outside the refractory
+                    // period — the QRS tail must not inflate it.
+                    self.noise_level += 0.002 * (feature - self.noise_level);
+                }
+                self.threshold *= 0.9995; // slow decay tracks amplitude drift
+            }
+        }
+        out
+    }
+
+    fn is_premature(&self, rr: f64) -> bool {
+        if self.rr_history.len() < 4 {
+            return false;
+        }
+        let mut recent: Vec<f64> =
+            self.rr_history[self.rr_history.len().saturating_sub(8)..].to_vec();
+        recent.sort_by(|a, b| a.partial_cmp(b).expect("RR intervals are finite"));
+        let median = recent[recent.len() / 2];
+        rr < median * self.config.premature_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_sensors::signal::ecg::{EcgGenerator, EcgProfile};
+    use iotse_sim::rng::SeedTree;
+    use iotse_sim::time::SimTime;
+
+    fn run(profile: EcgProfile, seconds: u64, seed: u64) -> (RhythmSummary, QrsDetector) {
+        let generator =
+            EcgGenerator::new(&SeedTree::new(seed), profile, SimTime::from_secs(seconds));
+        let mut detector = QrsDetector::new(QrsConfig::default());
+        let mut total = RhythmSummary::default();
+        for w in 0..seconds {
+            let samples: Vec<f64> = (0..1000)
+                .map(|ms| generator.value_at(SimTime::from_millis(w * 1000 + ms)))
+                .collect();
+            let s = detector.process_window(&samples);
+            total.beats += s.beats;
+            total.irregular += s.irregular;
+        }
+        (total, detector)
+    }
+
+    #[test]
+    fn beat_count_tracks_the_generator() {
+        let (total, _) = run(EcgProfile::default(), 20, 3);
+        let expected = 20.0 * 72.0 / 60.0; // 24 beats
+        assert!(
+            (total.beats as f64 - expected).abs() <= 2.0,
+            "expected ≈{expected}, got {}",
+            total.beats
+        );
+    }
+
+    #[test]
+    fn regular_rhythm_has_no_irregular_flags() {
+        let (total, detector) = run(EcgProfile::default(), 20, 4);
+        assert_eq!(total.irregular, 0);
+        // RR intervals cluster tightly around 60/72 s.
+        for &rr in detector.rr_intervals() {
+            assert!((rr - 60.0 / 72.0).abs() < 0.08, "rr {rr}");
+        }
+    }
+
+    #[test]
+    fn premature_beats_are_flagged() {
+        let profile = EcgProfile {
+            premature_fraction: 0.2,
+            ..EcgProfile::default()
+        };
+        let (total, _) = run(profile, 30, 5);
+        assert!(
+            total.irregular >= 3,
+            "expected several flags, got {}",
+            total.irregular
+        );
+        assert!(total.irregular < total.beats, "not every beat is premature");
+    }
+
+    #[test]
+    fn silence_detects_nothing() {
+        let mut detector = QrsDetector::new(QrsConfig::default());
+        let flat: Vec<f64> = vec![512.0; 2000];
+        let s = detector.process_window(&flat);
+        assert_eq!(s, RhythmSummary::default());
+    }
+
+    #[test]
+    fn state_persists_across_windows() {
+        // One beat right at a window edge is still a single beat.
+        let generator = EcgGenerator::new(
+            &SeedTree::new(6),
+            EcgProfile::default(),
+            SimTime::from_secs(4),
+        );
+        let mut whole = QrsDetector::new(QrsConfig::default());
+        let mut split = QrsDetector::new(QrsConfig::default());
+        let all: Vec<f64> = (0..4000)
+            .map(|ms| generator.value_at(SimTime::from_millis(ms)))
+            .collect();
+        let w = whole.process_window(&all);
+        let mut s = RhythmSummary::default();
+        for chunk in all.chunks(1000) {
+            let part = split.process_window(chunk);
+            s.beats += part.beats;
+            s.irregular += part.irregular;
+        }
+        assert_eq!(w.beats, s.beats, "window splitting must not change beats");
+    }
+
+    #[test]
+    #[should_panic(expected = "premature fraction")]
+    fn rejects_bad_fraction() {
+        let _ = QrsDetector::new(QrsConfig {
+            premature_fraction: 1.5,
+            ..QrsConfig::default()
+        });
+    }
+}

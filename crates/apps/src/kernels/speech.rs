@@ -1,0 +1,327 @@
+//! Keyword spotting — the A11 (speech-to-text) kernel.
+//!
+//! The PocketSphinx substitute: a spectral front-end (Goertzel filter bank
+//! over the vocabulary's tone frequencies) feeding a dynamic-time-warping
+//! matcher against synthesized per-word templates. Heavy on purpose — this
+//! is the paper's one workload that cannot fit the MCU.
+
+use std::f64::consts::PI;
+
+use iotse_sensors::signal::audio::{word_tones, VOCABULARY, WORD_DURATION};
+
+/// Samples per analysis frame (64 ms at 1 kHz).
+pub const FRAME_SAMPLES: usize = 64;
+
+/// Energy (relative to the frame count) below which a frame is silence.
+const SPEECH_ENERGY_GATE: f64 = 400.0;
+
+/// Goertzel power of `signal` at `freq_hz` for a given sample rate.
+#[must_use]
+pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate_hz: f64) -> f64 {
+    let omega = 2.0 * PI * freq_hz / sample_rate_hz;
+    let coeff = 2.0 * omega.cos();
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    (s1 * s1 + s2 * s2 - coeff * s1 * s2) / signal.len().max(1) as f64
+}
+
+/// The filter-bank frequencies: both tones of every vocabulary word,
+/// deduplicated, sorted.
+#[must_use]
+pub fn filter_bank() -> Vec<f64> {
+    let mut freqs: Vec<f64> = (0..VOCABULARY.len())
+        .flat_map(|w| {
+            let (a, b) = word_tones(w);
+            [a, b]
+        })
+        .collect();
+    freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    freqs.dedup();
+    freqs
+}
+
+/// One frame's feature vector: normalized filter-bank powers.
+#[must_use]
+fn frame_features(frame: &[f64], bank: &[f64], sample_rate_hz: f64) -> Vec<f64> {
+    let mut feats: Vec<f64> = bank
+        .iter()
+        .map(|&f| goertzel_power(frame, f, sample_rate_hz))
+        .collect();
+    let norm: f64 = feats.iter().sum::<f64>().max(1e-12);
+    for f in &mut feats {
+        *f /= norm;
+    }
+    feats
+}
+
+/// Dynamic-time-warping distance between two feature sequences
+/// (per-frame L1 cost, unit steps), normalized by path-free length.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty or feature dimensions differ.
+#[must_use]
+pub fn dtw_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "DTW needs non-empty sequences"
+    );
+    assert_eq!(a[0].len(), b[0].len(), "feature dimensions differ");
+    let cost = |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(p, q)| (p - q).abs()).sum() };
+    let n = a.len();
+    let m = b.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = f64::INFINITY;
+        for j in 1..=m {
+            let c = cost(&a[i - 1], &b[j - 1]);
+            curr[j] = c + prev[j - 1].min(prev[j]).min(curr[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m] / (n + m) as f64
+}
+
+/// A recognized keyword.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognition {
+    /// Index into [`VOCABULARY`].
+    pub word: usize,
+    /// DTW distance of the winning template (smaller = more confident).
+    pub distance: f64,
+    /// Sample offset of the segment start within the window.
+    pub start_sample: usize,
+}
+
+/// The keyword-spotting engine with synthesized reference templates.
+#[derive(Debug, Clone)]
+pub struct KeywordSpotter {
+    sample_rate_hz: f64,
+    bank: Vec<f64>,
+    templates: Vec<Vec<Vec<f64>>>,
+}
+
+impl KeywordSpotter {
+    /// Builds the engine, synthesizing one ideal template per vocabulary
+    /// word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive.
+    #[must_use]
+    pub fn new(sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        let bank = filter_bank();
+        let word_samples = (WORD_DURATION.as_secs_f64() * sample_rate_hz) as usize;
+        let templates = (0..VOCABULARY.len())
+            .map(|w| {
+                let (f1, f2) = word_tones(w);
+                let signal: Vec<f64> = (0..word_samples)
+                    .map(|i| {
+                        let t = i as f64 / sample_rate_hz;
+                        let envelope = (PI * i as f64 / word_samples as f64).sin();
+                        180.0
+                            * envelope
+                            * ((2.0 * PI * f1 * t).sin() + 0.8 * (2.0 * PI * f2 * t).sin())
+                    })
+                    .collect();
+                signal
+                    .chunks(FRAME_SAMPLES)
+                    .filter(|c| c.len() == FRAME_SAMPLES)
+                    .map(|c| frame_features(c, &bank, sample_rate_hz))
+                    .collect()
+            })
+            .collect();
+        KeywordSpotter {
+            sample_rate_hz,
+            bank,
+            templates,
+        }
+    }
+
+    /// Recognizes keywords in one window of raw ADC samples (centred on
+    /// 512 counts). Returns one recognition per speech segment found.
+    #[must_use]
+    pub fn recognize(&self, samples: &[f64]) -> Vec<Recognition> {
+        // 1. Voice activity detection per frame.
+        let frames: Vec<&[f64]> = samples.chunks(FRAME_SAMPLES).collect();
+        let active: Vec<bool> = frames
+            .iter()
+            .map(|f| {
+                let energy: f64 = f.iter().map(|&x| (x - 512.0) * (x - 512.0)).sum::<f64>()
+                    / f.len().max(1) as f64;
+                energy > SPEECH_ENERGY_GATE
+            })
+            .collect();
+
+        // 2. Segment contiguous active regions.
+        let mut out = Vec::new();
+        let mut seg_start: Option<usize> = None;
+        for i in 0..=active.len() {
+            let is_active = i < active.len() && active[i];
+            match (seg_start, is_active) {
+                (None, true) => seg_start = Some(i),
+                (Some(s), false) => {
+                    if i - s >= 2 {
+                        if let Some(r) = self.classify(&frames[s..i], s * FRAME_SAMPLES) {
+                            out.push(r);
+                        }
+                    }
+                    seg_start = None;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Classifies one speech segment by minimum DTW distance.
+    fn classify(&self, frames: &[&[f64]], start_sample: usize) -> Option<Recognition> {
+        let feats: Vec<Vec<f64>> = frames
+            .iter()
+            .filter(|f| f.len() == FRAME_SAMPLES)
+            .map(|f| frame_features(f, &self.bank, self.sample_rate_hz))
+            .collect();
+        if feats.is_empty() {
+            return None;
+        }
+        let (word, distance) = self
+            .templates
+            .iter()
+            .enumerate()
+            .map(|(w, t)| (w, dtw_distance(&feats, t)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))?;
+        Some(Recognition {
+            word,
+            distance,
+            start_sample,
+        })
+    }
+
+    /// The vocabulary string for a word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    #[must_use]
+    pub fn word_str(&self, word: usize) -> &'static str {
+        VOCABULARY[word]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_sensors::signal::audio::AudioGenerator;
+    use iotse_sim::rng::SeedTree;
+    use iotse_sim::time::SimTime;
+
+    #[test]
+    fn goertzel_finds_its_tone() {
+        let rate = 1000.0;
+        let signal: Vec<f64> = (0..256)
+            .map(|i| (2.0 * PI * 200.0 * i as f64 / rate).sin())
+            .collect();
+        let on_tone = goertzel_power(&signal, 200.0, rate);
+        let off_tone = goertzel_power(&signal, 350.0, rate);
+        assert!(on_tone > 20.0 * off_tone, "{on_tone} vs {off_tone}");
+    }
+
+    #[test]
+    fn dtw_prefers_identical_sequences() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let b = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        assert_eq!(dtw_distance(&a, &a), 0.0);
+        assert!(dtw_distance(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn dtw_tolerates_time_stretch() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let stretched = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        let other = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(dtw_distance(&a, &stretched) < dtw_distance(&a, &other));
+    }
+
+    #[test]
+    fn recognizes_generated_utterances() {
+        let generator = AudioGenerator::new(&SeedTree::new(21), 3, SimTime::from_secs(9));
+        let spotter = KeywordSpotter::new(1000.0);
+        let mut hits = 0;
+        let mut total = 0;
+        for u in generator.utterances() {
+            // One window centred on the utterance.
+            let start = u.at.as_millis().saturating_sub(100);
+            let samples: Vec<f64> = (0..1000)
+                .map(|ms| generator.value_at(SimTime::from_millis(start + ms)))
+                .collect();
+            let recs = spotter.recognize(&samples);
+            total += 1;
+            if recs.iter().any(|r| r.word == u.word) {
+                hits += 1;
+            }
+        }
+        assert_eq!(
+            hits, total,
+            "all {total} centred utterances must be recognized"
+        );
+    }
+
+    #[test]
+    fn straddling_words_are_found_in_at_least_one_window() {
+        // A word cut by a window boundary must be recognized in the window
+        // holding (most of) it, and never invent a different word.
+        let generator = AudioGenerator::new(&SeedTree::new(77), 2, SimTime::from_secs(6));
+        let spotter = KeywordSpotter::new(1000.0);
+        for u in generator.utterances() {
+            let mut found = 0;
+            for offset in [0u64, 500] {
+                let start = (u.at.as_millis() + offset).saturating_sub(1000);
+                let samples: Vec<f64> = (0..1000)
+                    .map(|ms| generator.value_at(SimTime::from_millis(start + ms)))
+                    .collect();
+                for r in spotter.recognize(&samples) {
+                    if r.word == u.word {
+                        found += 1;
+                    }
+                }
+            }
+            assert!(found >= 1, "word {} at {} never recognized", u.word, u.at);
+        }
+    }
+
+    #[test]
+    fn silence_yields_nothing() {
+        let spotter = KeywordSpotter::new(1000.0);
+        let silence = vec![512.0; 1000];
+        assert!(spotter.recognize(&silence).is_empty());
+        let noise: Vec<f64> = (0..1000)
+            .map(|i| 512.0 + 5.0 * ((i * 7919 % 97) as f64 / 97.0 - 0.5))
+            .collect();
+        assert!(spotter.recognize(&noise).is_empty());
+    }
+
+    #[test]
+    fn word_str_maps_vocabulary() {
+        let spotter = KeywordSpotter::new(1000.0);
+        assert_eq!(spotter.word_str(0), VOCABULARY[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn dtw_rejects_empty() {
+        let _ = dtw_distance(&[], &[vec![0.0]]);
+    }
+}

@@ -1,0 +1,217 @@
+//! STA/LTA seismic triggering — the A7 kernel.
+//!
+//! The standard short-term-average / long-term-average detector used by
+//! real seismic networks: strong motion makes the short-window energy jump
+//! relative to the long-window background, and the ratio crossing a
+//! threshold declares an event. The detector keeps its long-term state
+//! across windows, matching how the paper's earthquake app runs forever.
+
+/// Tuning of the STA/LTA trigger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaLtaConfig {
+    /// Short-term window, samples.
+    pub sta_samples: usize,
+    /// Long-term window, samples.
+    pub lta_samples: usize,
+    /// Trigger when `STA/LTA` exceeds this.
+    pub trigger_ratio: f64,
+    /// De-trigger when the ratio falls below this.
+    pub release_ratio: f64,
+}
+
+impl Default for StaLtaConfig {
+    fn default() -> Self {
+        // The STA spans a full walking stride (0.5 s at 1 kHz): periodic
+        // gait impulses then average to the same level the LTA sees, so a
+        // person walking with the device does not read as an earthquake,
+        // while a sudden sustained event still lifts STA well above LTA.
+        StaLtaConfig {
+            sta_samples: 500,
+            lta_samples: 5000,
+            trigger_ratio: 3.0,
+            release_ratio: 1.2,
+        }
+    }
+}
+
+/// The stateful detector.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_apps::kernels::stalta::{StaLta, StaLtaConfig};
+///
+/// let mut detector = StaLta::new(StaLtaConfig::default());
+/// // A quiet second to charge the long-term average…
+/// let quiet: Vec<[f64; 3]> = (0..1000).map(|i| [0.0, 0.0, 9.81 + 0.01 * (i as f64).sin()]).collect();
+/// assert!(!detector.process_window(&quiet));
+/// // …then strong shaking.
+/// let shaking: Vec<[f64; 3]> = (0..1000)
+///     .map(|i| [0.5, 0.5, 9.81 + 3.0 * (i as f64 * 0.08).sin()])
+///     .collect();
+/// assert!(detector.process_window(&shaking));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaLta {
+    config: StaLtaConfig,
+    sta: f64,
+    lta: f64,
+    triggered: bool,
+    primed: bool,
+}
+
+impl StaLta {
+    /// Creates a detector with uncharged averages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if window lengths are zero or STA is not shorter than LTA.
+    #[must_use]
+    pub fn new(config: StaLtaConfig) -> Self {
+        assert!(
+            config.sta_samples > 0 && config.lta_samples > 0,
+            "windows must be non-empty"
+        );
+        assert!(
+            config.sta_samples < config.lta_samples,
+            "STA must be shorter than LTA"
+        );
+        assert!(
+            config.release_ratio < config.trigger_ratio,
+            "release must be below trigger"
+        );
+        StaLta {
+            config,
+            sta: 0.0,
+            lta: 0.0,
+            triggered: false,
+            primed: false,
+        }
+    }
+
+    /// Whether the detector is currently in the triggered state.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.triggered
+    }
+
+    /// The current STA/LTA ratio (0 until primed).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.lta <= f64::EPSILON {
+            0.0
+        } else {
+            self.sta / self.lta
+        }
+    }
+
+    /// Feeds one window of 3-axis samples; returns whether an event was
+    /// active at any point within the window.
+    pub fn process_window(&mut self, samples: &[[f64; 3]]) -> bool {
+        let a_sta = 1.0 / self.config.sta_samples as f64;
+        let a_lta = 1.0 / self.config.lta_samples as f64;
+        let mut any = false;
+        for s in samples {
+            // Horizontal + vertical high-frequency energy (gravity removed
+            // by differencing would lose low-frequency S-waves; use the
+            // deviation from 1 g instead).
+            let vertical = s[2] - crate::kernels::GRAVITY;
+            let energy = s[0] * s[0] + s[1] * s[1] + vertical * vertical;
+            self.sta += a_sta * (energy - self.sta);
+            if !self.primed {
+                // Charge the LTA quickly on the very first window so the
+                // detector is usable from the second window on.
+                self.lta += a_sta * (energy - self.lta);
+            } else {
+                // The LTA keeps adapting (slowly) even during an event;
+                // that is what eventually releases the trigger once the
+                // strong motion has been "background" for long enough.
+                self.lta += a_lta * (energy - self.lta);
+            }
+            let ratio = self.ratio();
+            if !self.triggered && self.primed && ratio > self.config.trigger_ratio {
+                self.triggered = true;
+            } else if self.triggered && ratio < self.config.release_ratio {
+                self.triggered = false;
+            }
+            any |= self.triggered;
+        }
+        self.primed = true;
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_sensors::signal::seismic::{Quake, SeismicGenerator};
+    use iotse_sim::rng::SeedTree;
+    use iotse_sim::time::{SimDuration, SimTime};
+
+    fn quiet(n: usize) -> Vec<[f64; 3]> {
+        (0..n)
+            .map(|i| [0.0, 0.0, 9.806 + 0.02 * (i as f64 * 0.37).sin()])
+            .collect()
+    }
+
+    #[test]
+    fn stays_quiet_on_background() {
+        let mut d = StaLta::new(StaLtaConfig::default());
+        for _ in 0..5 {
+            assert!(!d.process_window(&quiet(1000)));
+        }
+    }
+
+    #[test]
+    fn triggers_on_injected_quake_and_releases_after() {
+        let quake = Quake {
+            onset: SimTime::from_secs(2),
+            duration: SimDuration::from_secs(2),
+            peak: 3.0,
+        };
+        let generator = SeismicGenerator::new(&SeedTree::new(5), 0.02, vec![quake]);
+        let mut d = StaLta::new(StaLtaConfig::default());
+        let mut verdicts = Vec::new();
+        for w in 0..6u64 {
+            let samples: Vec<[f64; 3]> = (0..1000)
+                .map(|ms| generator.value_at(SimTime::from_millis(w * 1000 + ms)))
+                .collect();
+            verdicts.push(d.process_window(&samples));
+        }
+        assert_eq!(verdicts[..2], [false, false], "no event before onset");
+        assert!(verdicts[2] && verdicts[3], "event windows must trigger");
+        assert!(!verdicts[5], "must release after the event dies out");
+    }
+
+    #[test]
+    fn steps_do_not_trigger_the_quake_detector() {
+        use iotse_sensors::signal::gait::{GaitGenerator, GaitProfile};
+        let mut g = GaitGenerator::new(&SeedTree::new(6), GaitProfile::default());
+        let mut d = StaLta::new(StaLtaConfig::default());
+        let mut any = false;
+        for w in 0..5u64 {
+            let samples: Vec<[f64; 3]> = (0..1000)
+                .map(|ms| g.sample_triple(SimTime::from_millis(w * 1000 + ms)))
+                .collect();
+            any |= d.process_window(&samples);
+        }
+        assert!(!any, "walking must not look like an earthquake");
+    }
+
+    #[test]
+    fn ratio_is_zero_before_any_input() {
+        let d = StaLta::new(StaLtaConfig::default());
+        assert_eq!(d.ratio(), 0.0);
+        assert!(!d.is_triggered());
+    }
+
+    #[test]
+    #[should_panic(expected = "STA must be shorter")]
+    fn rejects_inverted_windows() {
+        let _ = StaLta::new(StaLtaConfig {
+            sta_samples: 100,
+            lta_samples: 100,
+            ..StaLtaConfig::default()
+        });
+    }
+}

@@ -1,0 +1,167 @@
+//! Step detection — the A2 kernel.
+//!
+//! The classic embedded-pedometer pipeline: take the vertical-axis
+//! magnitude, remove the gravity baseline with a moving mean, low-pass the
+//! residual, then count threshold-crossing peaks separated by a refractory
+//! interval (a person cannot step twice within 250 ms).
+
+/// Tuning of the step detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepConfig {
+    /// Sample rate of the input, Hz.
+    pub sample_rate_hz: f64,
+    /// Minimum peak height above the gravity baseline, m/s².
+    pub threshold: f64,
+    /// Minimum spacing between steps, seconds.
+    pub refractory_s: f64,
+    /// Low-pass smoothing factor (0 = frozen, 1 = no smoothing).
+    pub alpha: f64,
+}
+
+impl Default for StepConfig {
+    fn default() -> Self {
+        StepConfig {
+            sample_rate_hz: 1000.0,
+            threshold: 1.0,
+            refractory_s: 0.25,
+            alpha: 0.06,
+        }
+    }
+}
+
+/// Counts steps in one window of 3-axis accelerometer samples (m/s²).
+///
+/// # Examples
+///
+/// ```
+/// use iotse_apps::kernels::stepcount::{count_steps, StepConfig};
+///
+/// // Two clean impulses over flat gravity.
+/// let mut samples = vec![[0.0, 0.0, 9.81]; 1000];
+/// for c in [250usize, 750] {
+///     for i in c - 40..c + 40 {
+///         samples[i][2] += 4.0 * (1.0 - ((i as f64 - c as f64) / 40.0).abs());
+///     }
+/// }
+/// assert_eq!(count_steps(&samples, &StepConfig::default()), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration has a non-positive sample rate.
+#[must_use]
+pub fn count_steps(samples: &[[f64; 3]], config: &StepConfig) -> u32 {
+    assert!(config.sample_rate_hz > 0.0, "sample rate must be positive");
+    if samples.len() < 4 {
+        return 0;
+    }
+    // Gravity baseline: mean of the vertical axis over the window.
+    let baseline = samples.iter().map(|s| s[2]).sum::<f64>() / samples.len() as f64;
+
+    // Low-pass the de-biased vertical axis (single-pole IIR). The filter
+    // state starts at the first observation so a pulse already in progress
+    // at the window boundary keeps the detector disarmed until it decays.
+    let mut smooth = samples[0][2] - baseline;
+    let refractory = (config.refractory_s * config.sample_rate_hz) as usize;
+    let mut steps = 0u32;
+    let mut last_step: Option<usize> = None;
+    // Start disarmed: a pulse already in progress at the window boundary
+    // belongs to the previous window (its rising edge was counted there).
+    let mut armed = false;
+    for (i, s) in samples.iter().enumerate() {
+        let x = s[2] - baseline;
+        smooth += config.alpha * (x - smooth);
+        let spaced = last_step.is_none_or(|l| i - l >= refractory);
+        if armed && spaced && smooth > config.threshold {
+            steps += 1;
+            last_step = Some(i);
+            armed = false;
+        } else if smooth < config.threshold * 0.5 {
+            // Hysteresis: re-arm only after the signal falls away.
+            armed = true;
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impulse_train(centers: &[usize], n: usize, amplitude: f64) -> Vec<[f64; 3]> {
+        let mut v = vec![[0.0, 0.0, 9.81]; n];
+        for &c in centers {
+            let (lo, hi) = (c.saturating_sub(60), (c + 60).min(n));
+            for (i, sample) in v[lo..hi].iter_mut().enumerate() {
+                let d = ((lo + i) as f64 - c as f64).abs() / 60.0;
+                sample[2] += amplitude * (1.0 - d).max(0.0);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn counts_clean_impulses() {
+        let s = impulse_train(&[200, 500, 800], 1000, 4.0);
+        assert_eq!(count_steps(&s, &StepConfig::default()), 3);
+    }
+
+    #[test]
+    fn flat_signal_counts_zero() {
+        let s = vec![[0.0, 0.0, 9.81]; 1000];
+        assert_eq!(count_steps(&s, &StepConfig::default()), 0);
+    }
+
+    #[test]
+    fn subthreshold_wiggles_are_ignored() {
+        let mut s = vec![[0.0, 0.0, 9.81]; 1000];
+        for (i, v) in s.iter_mut().enumerate() {
+            v[2] += 0.3 * (i as f64 * 0.05).sin();
+        }
+        assert_eq!(count_steps(&s, &StepConfig::default()), 0);
+    }
+
+    #[test]
+    fn refractory_merges_double_peaks() {
+        // Two peaks 100 ms apart — one physical step with a bounce.
+        let s = impulse_train(&[400, 500], 1000, 4.0);
+        let got = count_steps(&s, &StepConfig::default());
+        assert_eq!(got, 1, "bounce must not double-count");
+    }
+
+    #[test]
+    fn empty_and_tiny_windows() {
+        assert_eq!(count_steps(&[], &StepConfig::default()), 0);
+        assert_eq!(
+            count_steps(&[[0.0, 0.0, 9.8]; 3], &StepConfig::default()),
+            0
+        );
+    }
+
+    #[test]
+    fn counts_against_gait_generator_ground_truth() {
+        use iotse_sensors::signal::gait::{GaitGenerator, GaitProfile};
+        use iotse_sim::rng::SeedTree;
+        use iotse_sim::time::SimTime;
+
+        for seed in [1, 2, 3] {
+            let mut generator = GaitGenerator::new(&SeedTree::new(seed), GaitProfile::default());
+            let samples: Vec<[f64; 3]> = (0..1000)
+                .map(|ms| generator.sample_triple(SimTime::from_millis(ms)))
+                .collect();
+            let truth = generator.true_steps_between(SimTime::ZERO, SimTime::from_secs(1)) as u32;
+            let got = count_steps(&samples, &StepConfig::default());
+            assert_eq!(got, truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn rejects_bad_rate() {
+        let c = StepConfig {
+            sample_rate_hz: 0.0,
+            ..StepConfig::default()
+        };
+        let _ = count_steps(&[[0.0; 3]; 10], &c);
+    }
+}

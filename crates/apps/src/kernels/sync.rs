@@ -1,0 +1,292 @@
+//! Content-defined chunking and delta sync — the A6 (Dropbox manager)
+//! kernel.
+//!
+//! The file-sync pipeline over the sensor byte stream: a polynomial rolling
+//! hash cuts the stream into content-defined chunks, chunks are identified
+//! by a strong (FNV-1a 64) digest, and a persistent chunk store turns each
+//! window's upload into "N new chunks, M deduplicated" — the real mechanism
+//! behind delta sync.
+
+use std::collections::HashSet;
+
+/// Rolling-hash window size, bytes.
+pub const ROLL_WINDOW: usize = 16;
+
+/// Chunking parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkConfig {
+    /// A boundary is declared when `hash % modulus == modulus - 1`.
+    pub modulus: u64,
+    /// Chunks never get smaller than this.
+    pub min_chunk: usize,
+    /// …or larger than this.
+    pub max_chunk: usize,
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        ChunkConfig {
+            modulus: 64,
+            min_chunk: 32,
+            max_chunk: 1024,
+        }
+    }
+}
+
+/// One content-defined chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Byte offset within the input.
+    pub offset: usize,
+    /// Chunk length.
+    pub len: usize,
+    /// Strong digest of the content.
+    pub digest: u64,
+}
+
+/// FNV-1a 64-bit digest.
+#[must_use]
+pub fn strong_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Splits `data` into content-defined chunks.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (`min_chunk == 0`,
+/// `min_chunk > max_chunk`, or `modulus == 0`).
+#[must_use]
+pub fn chunk(data: &[u8], config: &ChunkConfig) -> Vec<Chunk> {
+    assert!(config.min_chunk > 0, "min chunk must be positive");
+    assert!(config.min_chunk <= config.max_chunk, "min chunk above max");
+    assert!(config.modulus > 0, "modulus must be positive");
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut hash: u64 = 0;
+    const BASE: u64 = 257;
+    // BASE^(ROLL_WINDOW-1) for removing the outgoing byte.
+    let top: u64 = (0..ROLL_WINDOW - 1).fold(1u64, |acc, _| acc.wrapping_mul(BASE));
+    for (i, &b) in data.iter().enumerate() {
+        // Update the rolling hash over the last ROLL_WINDOW bytes.
+        if i >= start + ROLL_WINDOW {
+            let out = data[i - ROLL_WINDOW];
+            hash = hash.wrapping_sub(u64::from(out).wrapping_mul(top));
+        }
+        hash = hash.wrapping_mul(BASE).wrapping_add(u64::from(b));
+        let len = i + 1 - start;
+        let at_boundary = hash % config.modulus == config.modulus - 1;
+        if (len >= config.min_chunk && at_boundary) || len >= config.max_chunk {
+            chunks.push(Chunk {
+                offset: start,
+                len,
+                digest: strong_digest(&data[start..=i]),
+            });
+            start = i + 1;
+            hash = 0;
+        }
+    }
+    if start < data.len() {
+        chunks.push(Chunk {
+            offset: start,
+            len: data.len() - start,
+            digest: strong_digest(&data[start..]),
+        });
+    }
+    chunks
+}
+
+/// Result of syncing one window of data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncReport {
+    /// Chunks whose content the store had never seen (uploaded).
+    pub uploaded: usize,
+    /// Chunks already present (deduplicated).
+    pub deduplicated: usize,
+    /// Bytes actually uploaded.
+    pub uploaded_bytes: usize,
+}
+
+/// A persistent chunk store simulating the cloud side of the sync.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_apps::kernels::sync::{ChunkConfig, ChunkStore};
+///
+/// let mut store = ChunkStore::new(ChunkConfig::default());
+/// let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+/// let first = store.sync(&data);
+/// assert!(first.uploaded > 0);
+/// // Re-syncing identical content uploads nothing.
+/// let second = store.sync(&data);
+/// assert_eq!(second.uploaded, 0);
+/// assert_eq!(second.deduplicated, first.uploaded + first.deduplicated);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChunkStore {
+    config: ChunkConfig,
+    known: HashSet<u64>,
+}
+
+impl ChunkStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(config: ChunkConfig) -> Self {
+        ChunkStore {
+            config,
+            known: HashSet::new(),
+        }
+    }
+
+    /// Number of distinct chunks stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// `true` if the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// Chunks `data` and uploads what the store does not already hold.
+    pub fn sync(&mut self, data: &[u8]) -> SyncReport {
+        let mut report = SyncReport::default();
+        for c in chunk(data, &self.config) {
+            if self.known.insert(c.digest) {
+                report.uploaded += 1;
+                report.uploaded_bytes += c.len;
+            } else {
+                report.deduplicated += 1;
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, seed: u8) -> Vec<u8> {
+        let mut x = u64::from(seed) | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        let d = data(10_000, 1);
+        let chunks = chunk(&d, &ChunkConfig::default());
+        let mut pos = 0;
+        for c in &chunks {
+            assert_eq!(c.offset, pos);
+            pos += c.len;
+        }
+        assert_eq!(pos, d.len());
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        let cfg = ChunkConfig::default();
+        let d = data(20_000, 2);
+        let chunks = chunk(&d, &cfg);
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len <= cfg.max_chunk, "chunk {i} too large: {}", c.len);
+            if i + 1 != chunks.len() {
+                assert!(c.len >= cfg.min_chunk, "chunk {i} too small: {}", c.len);
+            }
+        }
+        assert!(
+            chunks.len() > 20,
+            "expected many chunks, got {}",
+            chunks.len()
+        );
+    }
+
+    #[test]
+    fn chunking_is_content_defined_not_offset_defined() {
+        // Prepending bytes shifts offsets but most chunk digests survive —
+        // the property that makes delta sync cheap.
+        let d = data(8_000, 3);
+        let cfg = ChunkConfig::default();
+        let original: HashSet<u64> = chunk(&d, &cfg).iter().map(|c| c.digest).collect();
+        let mut shifted = data(64, 4);
+        shifted.extend_from_slice(&d);
+        let after: HashSet<u64> = chunk(&shifted, &cfg).iter().map(|c| c.digest).collect();
+        let survived = original.intersection(&after).count();
+        assert!(
+            survived * 10 >= original.len() * 7,
+            "only {survived}/{} digests survived a shift",
+            original.len()
+        );
+    }
+
+    #[test]
+    fn dedup_across_windows() {
+        let mut store = ChunkStore::new(ChunkConfig::default());
+        let d = data(4_096, 5);
+        let first = store.sync(&d);
+        assert!(first.uploaded > 0);
+        assert_eq!(first.deduplicated, 0);
+        let second = store.sync(&d);
+        assert_eq!(second.uploaded, 0);
+        assert!(second.deduplicated > 0);
+        assert_eq!(second.uploaded_bytes, 0);
+    }
+
+    #[test]
+    fn modified_tail_uploads_only_the_tail() {
+        let mut store = ChunkStore::new(ChunkConfig::default());
+        let mut d = data(8_192, 6);
+        let first = store.sync(&d);
+        // Change the last 256 bytes.
+        let n = d.len();
+        d[n - 256..].copy_from_slice(&data(256, 7));
+        let second = store.sync(&d);
+        assert!(second.uploaded >= 1);
+        assert!(
+            second.uploaded <= first.uploaded / 4 + 2,
+            "tail edit re-uploaded too much: {} of {}",
+            second.uploaded,
+            first.uploaded
+        );
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut store = ChunkStore::new(ChunkConfig::default());
+        assert_eq!(store.sync(&[]), SyncReport::default());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn digest_distinguishes_content() {
+        assert_ne!(strong_digest(b"abc"), strong_digest(b"abd"));
+        assert_eq!(strong_digest(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    #[should_panic(expected = "min chunk above max")]
+    fn rejects_inverted_bounds() {
+        let cfg = ChunkConfig {
+            min_chunk: 100,
+            max_chunk: 10,
+            modulus: 64,
+        };
+        let _ = chunk(&[0u8; 10], &cfg);
+    }
+}

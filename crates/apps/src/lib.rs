@@ -1,0 +1,46 @@
+//! # iotse-apps — the eleven Table II workloads, with real kernels
+//!
+//! Part of the `iotse` reproduction of *"Understanding Energy Efficiency in
+//! IoT App Executions"* (ICDCS 2019). The paper ran eleven off-the-shelf
+//! apps; this crate reimplements each one as a
+//! [`Workload`](iotse_core::workload::Workload) whose `compute` is a **real
+//! kernel** — step detection, STA/LTA triggering, QRS detection, CoAP and
+//! JSON codecs, content-defined-chunking sync, a JPEG pipeline with a true
+//! IDCT, minutiae matching and DTW keyword spotting — so functional
+//! correctness is testable against the simulated world's ground truth.
+//!
+//! * [`kernels`] — the algorithm libraries.
+//! * [`table2`] — A1–A11 workload definitions (sensors, Figure 6
+//!   resources, kernels).
+//! * [`catalog`] — build apps by [`AppId`](iotse_core::AppId), including
+//!   the paper's 14 Figure 11 combinations.
+//!
+//! # Examples
+//!
+//! Run the paper's running example (the step counter) under all three
+//! single-app schemes:
+//!
+//! ```
+//! use iotse_apps::catalog;
+//! use iotse_core::{AppId, Scenario, Scheme};
+//!
+//! let seed = 42;
+//! let baseline = Scenario::new(Scheme::Baseline, catalog::apps(&[AppId::A2], seed))
+//!     .windows(2)
+//!     .seed(seed)
+//!     .run();
+//! let com = Scenario::new(Scheme::Com, catalog::apps(&[AppId::A2], seed))
+//!     .windows(2)
+//!     .seed(seed)
+//!     .run();
+//! assert!(com.total_energy() < baseline.total_energy());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod kernels;
+pub mod table2;
+
+pub use catalog::{app, apps, figure11_combinations, light_apps};

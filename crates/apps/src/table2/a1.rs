@@ -1,0 +1,139 @@
+//! A1 — CoAP server (Building Automation).
+//!
+//! Serves the light and sound sensors over the Constrained Application
+//! Protocol: each window it handles one GET per resource, encoding the
+//! observation history as a JSON payload inside a real RFC 7252 message,
+//! then decodes its own wire bytes back (the client side) to prove the
+//! exchange.
+
+use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};
+use iotse_sensors::spec::SensorId;
+use iotse_sim::time::SimDuration;
+
+use crate::kernels::coap::CoapMessage;
+use crate::kernels::json::Json;
+
+/// The CoAP-server workload.
+#[derive(Debug, Clone, Default)]
+pub struct CoapServer {
+    next_message_id: u16,
+}
+
+impl CoapServer {
+    /// Creates the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        CoapServer::default()
+    }
+
+    fn serve(&mut self, path: &str, values: &[f64]) -> CoapMessage {
+        self.next_message_id = self.next_message_id.wrapping_add(1);
+        let mid = self.next_message_id;
+        // Client request …
+        let request = CoapMessage::get(mid, &mid.to_be_bytes(), path);
+        let wire = request.encode();
+        // … server parses it and answers with summary statistics.
+        let parsed = CoapMessage::decode(&wire).expect("our own encoding is valid");
+        let n = values.len() as f64;
+        let mean = if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / n
+        };
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        let payload = Json::object([
+            ("resource", Json::String(parsed.uri_path())),
+            ("count", Json::Number(n)),
+            ("mean", Json::Number(mean)),
+            (
+                "max",
+                Json::Number(if values.is_empty() { 0.0 } else { max }),
+            ),
+        ]);
+        CoapMessage::content(
+            parsed.message_id,
+            &parsed.token,
+            payload.to_text().into_bytes(),
+        )
+    }
+}
+
+impl Workload for CoapServer {
+    fn id(&self) -> AppId {
+        AppId::A1
+    }
+
+    fn name(&self) -> &'static str {
+        "CoAP Server"
+    }
+
+    fn window(&self) -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    fn sensors(&self) -> Vec<SensorUsage> {
+        vec![
+            SensorUsage::periodic(SensorId::S7, 1000),
+            SensorUsage::periodic(SensorId::S8, 1000),
+        ]
+    }
+
+    fn resources(&self) -> ResourceProfile {
+        super::profile(28_672, 512, 35.0, 8.0, 90.0)
+    }
+
+    fn compute(&mut self, data: &WindowData) -> AppOutput {
+        let mut summaries = Vec::new();
+        for (path, sensor) in [
+            ("sensors/light", SensorId::S7),
+            ("sensors/sound", SensorId::S8),
+        ] {
+            let values: Vec<f64> = data
+                .sensor(sensor)
+                .iter()
+                .filter_map(|s| s.value.as_scalar())
+                .collect();
+            let response = self.serve(path, &values);
+            // The client decodes the response; a decode failure would be a
+            // protocol bug, so it is asserted, not swallowed.
+            let round = CoapMessage::decode(&response.encode()).expect("response decodes");
+            summaries.push(String::from_utf8_lossy(&round.payload).into_owned());
+        }
+        AppOutput::Document(summaries.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_core::executor::Scenario;
+    use iotse_core::scheme::Scheme;
+
+    #[test]
+    fn spec_matches_table2() {
+        let app = CoapServer::new();
+        assert_eq!(iotse_core::workload::window_interrupts(&app), 2000);
+        assert_eq!(iotse_core::workload::window_bytes(&app), 12_000); // 11.72 KB
+    }
+
+    #[test]
+    fn serves_parseable_json_over_coap() {
+        let r = Scenario::new(Scheme::Baseline, vec![Box::new(CoapServer::new())])
+            .windows(2)
+            .seed(8)
+            .run();
+        for w in &r.app(AppId::A1).expect("ran").windows {
+            let AppOutput::Document(doc) = &w.output else {
+                panic!("wrong output type");
+            };
+            let lines: Vec<&str> = doc.lines().collect();
+            assert_eq!(lines.len(), 2);
+            for (line, resource) in lines.iter().zip(["sensors/light", "sensors/sound"]) {
+                let v = Json::parse(line).expect("payload is valid JSON");
+                assert_eq!(v.get("resource").and_then(Json::as_str), Some(resource));
+                assert_eq!(v.get("count").and_then(Json::as_f64), Some(1000.0));
+                assert!(v.get("mean").and_then(Json::as_f64).expect("mean") > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! A9 — JPEG decoder (Security).
+//!
+//! Takes the camera frame, entropy-encodes its luma plane, and runs the
+//! full decode path (varint entropy decode, dequantize, **IDCT**) — the
+//! computation the paper's A9 times — then reports the round-trip PSNR.
+
+use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};
+use iotse_sensors::signal::image::LOW_RES;
+use iotse_sensors::spec::SensorId;
+use iotse_sim::time::SimDuration;
+
+use crate::kernels::jpeg;
+
+/// JPEG quality factor used by the pipeline.
+pub const QUALITY: u8 = 85;
+
+/// The JPEG-decoder workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JpegDecoder;
+
+impl JpegDecoder {
+    /// Creates the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        JpegDecoder
+    }
+}
+
+impl Workload for JpegDecoder {
+    fn id(&self) -> AppId {
+        AppId::A9
+    }
+
+    fn name(&self) -> &'static str {
+        "JPEG Decoder"
+    }
+
+    fn window(&self) -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    fn sensors(&self) -> Vec<SensorUsage> {
+        vec![SensorUsage::on_demand(SensorId::S10)]
+    }
+
+    fn resources(&self) -> ResourceProfile {
+        // Figure 6 maximum memory (36.3 KB incl. stack). The fixed-point
+        // IDCT ports well to the MCU, giving A9 one of the milder
+        // slowdowns (Figure 13 keeps it above 1×).
+        super::profile(36_659, 512, 90.0, 50.0, 150.0)
+    }
+
+    fn compute(&mut self, data: &WindowData) -> AppOutput {
+        let Some(rgb) = data
+            .sensor(SensorId::S10)
+            .last()
+            .and_then(|s| s.value.as_bytes())
+        else {
+            return AppOutput::ImageQuality { psnr_db: 0.0 };
+        };
+        let (w, h) = LOW_RES;
+        // Luma plane from the raw RGB frame.
+        let luma: Vec<u8> = rgb
+            .chunks_exact(3)
+            .map(|p| {
+                ((u32::from(p[0]) * 299 + u32::from(p[1]) * 587 + u32::from(p[2]) * 114) / 1000)
+                    as u8
+            })
+            .collect();
+        let encoded = jpeg::encode(&luma, w, h, QUALITY);
+        let decoded = jpeg::decode(&encoded).expect("own encoding decodes");
+        AppOutput::ImageQuality {
+            psnr_db: jpeg::psnr(&luma, &decoded),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_core::executor::Scenario;
+    use iotse_core::scheme::Scheme;
+
+    #[test]
+    fn spec_matches_table2() {
+        let app = JpegDecoder::new();
+        assert_eq!(iotse_core::workload::window_interrupts(&app), 1);
+        assert_eq!(iotse_core::workload::window_bytes(&app), 24 * 1024);
+    }
+
+    #[test]
+    fn every_frame_round_trips_above_30_db() {
+        let r = Scenario::new(Scheme::Baseline, vec![Box::new(JpegDecoder::new())])
+            .windows(3)
+            .seed(18)
+            .run();
+        for w in &r.app(AppId::A9).expect("ran").windows {
+            let AppOutput::ImageQuality { psnr_db } = w.output else {
+                panic!("wrong output type");
+            };
+            assert!(psnr_db > 30.0, "window {} PSNR {psnr_db}", w.window);
+            assert!(psnr_db.is_finite(), "noisy frames cannot be lossless");
+        }
+    }
+
+    #[test]
+    fn psnr_is_scheme_invariant() {
+        let run = |scheme| {
+            let r = Scenario::new(scheme, vec![Box::new(JpegDecoder::new())])
+                .windows(2)
+                .seed(19)
+                .run();
+            r.app(AppId::A9)
+                .expect("ran")
+                .windows
+                .iter()
+                .map(|w| w.output.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(Scheme::Baseline), run(Scheme::Com));
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared experiment configuration.
+
+use iotse_apps::catalog;
+use iotse_core::{AppId, RunResult, Scenario, Scheme};
+use iotse_sensors::world::WorldConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by every figure/table reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The experiment seed (printed with every figure for replayability).
+    pub seed: u64,
+    /// Number of 1-second windows per scenario run.
+    pub windows: u32,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 42,
+            windows: 5,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A faster configuration for smoke tests and benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            seed: 42,
+            windows: 2,
+        }
+    }
+
+    /// Runs `apps` under `scheme` with this configuration.
+    #[must_use]
+    pub fn run(&self, scheme: Scheme, apps: &[AppId]) -> RunResult {
+        Scenario::new(scheme, catalog::apps(apps, self.seed))
+            .windows(self.windows)
+            .seed(self.seed)
+            .run()
+    }
+
+    /// Runs `apps` under `scheme` with a customized world.
+    #[must_use]
+    pub fn run_in_world(&self, scheme: Scheme, apps: &[AppId], world: WorldConfig) -> RunResult {
+        Scenario::new(scheme, catalog::apps(apps, self.seed))
+            .windows(self.windows)
+            .seed(self.seed)
+            .world(world)
+            .run()
+    }
+}
+
+/// Parses a scheme name (case-insensitive).
+///
+/// # Errors
+///
+/// Returns the unknown name.
+pub fn parse_scheme(name: &str) -> Result<Scheme, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(Scheme::Baseline),
+        "batching" => Ok(Scheme::Batching),
+        "com" => Ok(Scheme::Com),
+        "beam" => Ok(Scheme::Beam),
+        "bcom" => Ok(Scheme::Bcom),
+        other => Err(format!(
+            "unknown scheme '{other}' (baseline|batching|com|beam|bcom)"
+        )),
+    }
+}
+
+/// Parses a comma- or plus-separated app list like `"A2,A7"` or `"a2+a11"`.
+///
+/// # Errors
+///
+/// Returns the first unknown app id, or an error for an empty list.
+pub fn parse_app_list(list: &str) -> Result<Vec<AppId>, String> {
+    let mut out = Vec::new();
+    for part in list
+        .split([',', '+'])
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+    {
+        let upper = part.to_ascii_uppercase();
+        let id = AppId::ALL
+            .iter()
+            .copied()
+            .find(|id| id.to_string() == upper)
+            .ok_or_else(|| format!("unknown app '{part}' (A1..A11)"))?;
+        out.push(id);
+    }
+    if out.is_empty() {
+        return Err("empty app list".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_quick_differ_only_in_windows() {
+        let d = ExperimentConfig::default();
+        let q = ExperimentConfig::quick();
+        assert_eq!(d.seed, q.seed);
+        assert!(q.windows < d.windows);
+    }
+
+    #[test]
+    fn run_helper_produces_a_result() {
+        let r = ExperimentConfig::quick().run(Scheme::Baseline, &[AppId::A2]);
+        assert_eq!(r.scheme, Scheme::Baseline);
+        assert!(r.total_energy().as_millijoules() > 0.0);
+    }
+
+    #[test]
+    fn scheme_parsing_accepts_any_case() {
+        assert_eq!(parse_scheme("BCOM").unwrap(), Scheme::Bcom);
+        assert_eq!(parse_scheme("beam").unwrap(), Scheme::Beam);
+        assert!(parse_scheme("turbo").is_err());
+    }
+
+    #[test]
+    fn app_list_parsing_accepts_both_separators() {
+        assert_eq!(parse_app_list("A2,A7").unwrap(), vec![AppId::A2, AppId::A7]);
+        assert_eq!(
+            parse_app_list("a11+a6+a1").unwrap(),
+            vec![AppId::A11, AppId::A6, AppId::A1]
+        );
+        assert!(parse_app_list("A99").is_err());
+        assert!(parse_app_list("").is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! Plot-ready CSV export of the figure data.
+//!
+//! The `figures` binary's `--csv DIR` flag writes one file per rendered
+//! target, so the paper's plots can be regenerated with any plotting tool.
+
+use std::fmt::Write as _;
+
+use crate::figures::{fig01, fig10, fig11, fig12, fig13, tables};
+use crate::sweeps::{dma, dvfs, error_rate, mcu_speed, transition};
+
+/// Serializes one table: a header row and data rows, RFC-4180-ish quoting.
+///
+/// # Panics
+///
+/// Panics if any data row's width differs from the header's.
+#[must_use]
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    push_row(&mut out, header.iter().map(ToString::to_string));
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header");
+        push_row(&mut out, row.iter().cloned());
+    }
+    out
+}
+
+fn push_row(out: &mut String, cells: impl Iterator<Item = String>) {
+    let mut first = true;
+    for cell in cells {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if cell.contains([',', '"', '\n']) {
+            let _ = write!(out, "\"{}\"", cell.replace('"', "\"\""));
+        } else {
+            out.push_str(&cell);
+        }
+    }
+    out.push('\n');
+}
+
+/// Figure 1 as CSV.
+#[must_use]
+pub fn fig01_csv(fig: &fig01::Fig01) -> String {
+    let mut rows: Vec<Vec<String>> = fig
+        .per_app_watts
+        .iter()
+        .map(|(id, w)| vec![id.to_string(), format!("{w:.4}")])
+        .collect();
+    rows.push(vec![
+        "baseline_mean".into(),
+        format!("{:.4}", fig.baseline_watts),
+    ]);
+    rows.push(vec!["idle".into(), format!("{:.4}", fig.idle_watts)]);
+    render(&["scenario", "power_w"], &rows)
+}
+
+/// Figure 10 as CSV.
+#[must_use]
+pub fn fig10_csv(fig: &fig10::Fig10) -> String {
+    let rows = fig
+        .rows
+        .iter()
+        .flat_map(|r| {
+            [
+                ("Baseline", r.baseline),
+                ("Batching", r.batching),
+                ("COM", r.com),
+            ]
+            .into_iter()
+            .map(move |(scheme, b)| {
+                vec![
+                    r.id.to_string(),
+                    scheme.to_string(),
+                    format!("{:.3}", b.data_collection.as_millijoules()),
+                    format!("{:.3}", b.interrupt.as_millijoules()),
+                    format!("{:.3}", b.data_transfer.as_millijoules()),
+                    format!("{:.3}", b.app_compute.as_millijoules()),
+                ]
+            })
+        })
+        .collect::<Vec<_>>();
+    render(
+        &[
+            "app",
+            "scheme",
+            "collection_mj",
+            "interrupt_mj",
+            "transfer_mj",
+            "compute_mj",
+        ],
+        &rows,
+    )
+}
+
+/// Figure 11 as CSV.
+#[must_use]
+pub fn fig11_csv(fig: &fig11::Fig11) -> String {
+    let rows = fig
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label(),
+                format!("{:.3}", r.baseline.total().as_millijoules()),
+                format!("{:.4}", r.beam_saving()),
+                format!("{:.4}", r.bcom_saving()),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(
+        &["combo", "baseline_mj", "beam_saving", "bcom_saving"],
+        &rows,
+    )
+}
+
+/// Figure 12 as CSV.
+#[must_use]
+pub fn fig12_csv(fig: &fig12::Fig12) -> String {
+    let rows = fig
+        .panels
+        .iter()
+        .flat_map(|p| {
+            let label = p.label();
+            p.bars.iter().map(move |(scheme, b)| {
+                vec![
+                    label.clone(),
+                    scheme.to_string(),
+                    format!("{:.3}", b.total().as_millijoules()),
+                ]
+            })
+        })
+        .collect::<Vec<_>>();
+    render(&["scenario", "scheme", "total_mj"], &rows)
+}
+
+/// Figure 13 as CSV.
+#[must_use]
+pub fn fig13_csv(fig: &fig13::Fig13) -> String {
+    let rows = fig
+        .speedups
+        .iter()
+        .map(|(id, s)| vec![id.to_string(), format!("{s:.4}")])
+        .collect::<Vec<_>>();
+    render(&["app", "speedup"], &rows)
+}
+
+/// Table II as CSV.
+#[must_use]
+pub fn table2_csv(t: &tables::Table2) -> String {
+    let rows = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.name.clone(),
+                r.sensors.join("+"),
+                format!("{:.3}", r.measured_bytes as f64 / 1024.0),
+                r.measured_interrupts.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(&["app", "name", "sensors", "data_kb", "interrupts"], &rows)
+}
+
+/// Transition sweep as CSV.
+#[must_use]
+pub fn transition_csv(sweep: &transition::TransitionSweep) -> String {
+    let rows = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.factor),
+                format!("{:.4}", p.a2_saving),
+                format!("{:.4}", p.a3_saving),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(
+        &[
+            "transition_factor",
+            "a2_batching_saving",
+            "a3_batching_saving",
+        ],
+        &rows,
+    )
+}
+
+/// MCU-speed sweep as CSV.
+#[must_use]
+pub fn mcu_speed_csv(sweep: &mcu_speed::McuSpeedSweep) -> String {
+    let rows = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                sweep.id.to_string(),
+                format!("{}", p.factor),
+                format!("{:.4}", p.speedup),
+                format!("{:.4}", p.saving),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(
+        &["app", "mcu_time_factor", "com_speedup", "com_saving"],
+        &rows,
+    )
+}
+
+/// DMA sweep as CSV.
+#[must_use]
+pub fn dma_csv(sweep: &dma::DmaSweep) -> String {
+    let rows = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.scheme.to_string(),
+                format!("{:.3}", p.without_mj),
+                format!("{:.3}", p.with_mj),
+                format!("{:.4}", p.dma_saving()),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(
+        &[
+            "scenario",
+            "scheme",
+            "without_dma_mj",
+            "with_dma_mj",
+            "dma_saving",
+        ],
+        &rows,
+    )
+}
+
+/// DVFS sweep as CSV.
+#[must_use]
+pub fn dvfs_csv(sweep: &dvfs::DvfsSweep) -> String {
+    let rows = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.speed),
+                format!("{:.3}", p.active_w),
+                format!("{:.3}", p.energy_mj),
+                p.qos_violations.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(
+        &["clock_scale", "active_w", "energy_mj", "qos_violations"],
+        &rows,
+    )
+}
+
+/// Error-rate sweep as CSV.
+#[must_use]
+pub fn error_rate_csv(sweep: &error_rate::ErrorSweep) -> String {
+    let rows = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.rate),
+                p.reads.to_string(),
+                format!("{:.3}", p.energy_mj),
+                p.steps.to_string(),
+                p.true_steps.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(
+        &["error_rate", "reads", "energy_mj", "steps", "true_steps"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn render_quotes_when_needed() {
+        let csv = render(
+            &["a", "b"],
+            &[
+                vec!["plain".into(), "has,comma".into()],
+                vec!["has\"quote".into(), "x".into()],
+            ],
+        );
+        assert_eq!(csv, "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn render_rejects_ragged_rows() {
+        let _ = render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn figure_csvs_have_expected_shapes() {
+        let cfg = ExperimentConfig::quick();
+        let f13 = fig13_csv(&crate::figures::fig13::run(&cfg));
+        assert_eq!(f13.lines().count(), 11); // header + 10 apps
+        assert!(f13.starts_with("app,speedup\n"));
+
+        let t2 = table2_csv(&tables::table2(&cfg));
+        assert_eq!(t2.lines().count(), 12); // header + 11 apps
+        assert!(t2.contains("A2,Step counter,S4,11.719,1000"));
+    }
+
+    #[test]
+    fn sweep_csvs_parse_back_row_counts() {
+        let cfg = ExperimentConfig::quick();
+        let dvfs_rows = dvfs_csv(&dvfs::run(&cfg));
+        assert_eq!(dvfs_rows.lines().count(), dvfs::SPEEDS.len() + 1);
+        let err_rows = error_rate_csv(&error_rate::run(&cfg));
+        assert_eq!(err_rows.lines().count(), error_rate::RATES.len() + 1);
+    }
+}

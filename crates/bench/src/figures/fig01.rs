@@ -1,0 +1,82 @@
+//! Figure 1 — energy of an idle hub vs. the 10-app baseline average
+//! (the paper's ≈ 9.5× motivation).
+
+use std::fmt;
+
+use iotse_core::{AppId, Scenario, Scheme};
+use iotse_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// The Figure 1 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig01 {
+    /// Average power of each A1–A10 Baseline run, watts.
+    pub per_app_watts: Vec<(AppId, f64)>,
+    /// Mean baseline power, watts.
+    pub baseline_watts: f64,
+    /// Idle-hub power, watts.
+    pub idle_watts: f64,
+}
+
+impl Fig01 {
+    /// The headline ratio (the paper measured ≈ 9.5×).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.baseline_watts / self.idle_watts
+    }
+}
+
+/// Reproduces Figure 1.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig01 {
+    let idle = Scenario::idle(SimDuration::from_secs(u64::from(cfg.windows)))
+        .seed(cfg.seed)
+        .run();
+    let per_app_watts: Vec<(AppId, f64)> = AppId::LIGHT
+        .iter()
+        .map(|&id| {
+            let r = cfg.run(Scheme::Baseline, &[id]);
+            (id, r.average_power().as_watts())
+        })
+        .collect();
+    let baseline_watts =
+        per_app_watts.iter().map(|&(_, w)| w).sum::<f64>() / per_app_watts.len() as f64;
+    Fig01 {
+        per_app_watts,
+        baseline_watts,
+        idle_watts: idle.average_power().as_watts(),
+    }
+}
+
+impl fmt::Display for Fig01 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 1: idle hub vs 10-app Baseline average")?;
+        writeln!(f, "  baseline mean power : {:.3} W", self.baseline_watts)?;
+        writeln!(f, "  idle hub power      : {:.3} W", self.idle_watts)?;
+        writeln!(
+            f,
+            "  ratio               : {:.1}x   (paper: 9.5x)",
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_ratio_band() {
+        let fig = run(&ExperimentConfig::quick());
+        assert!(
+            (8.0..=11.5).contains(&fig.ratio()),
+            "idle ratio {} outside the paper band",
+            fig.ratio()
+        );
+        assert_eq!(fig.per_app_watts.len(), 10);
+        let text = fig.to_string();
+        assert!(text.contains("Figure 1"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 4 — who spends the data-transfer energy: CPU (77%), MCU (13%),
+//! or the physical medium (10%).
+//!
+//! The paper's point: both processors are held hostage for the whole
+//! transfer (no DMA), so ~90% of transfer-interval energy is the two
+//! processors and only ~10% moves bits. The reproduction measures the
+//! per-device energy over the actual transfer intervals of a Step-Counter
+//! Baseline run.
+
+use std::fmt;
+
+use iotse_core::calibration::Calibration;
+use iotse_core::{AppId, Scheme};
+use iotse_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// The Figure 4 result: shares of transfer-interval energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig04 {
+    /// Total time the bus was driven.
+    pub transfer_busy: SimDuration,
+    /// CPU share of transfer-interval energy.
+    pub cpu_share: f64,
+    /// MCU share.
+    pub mcu_share: f64,
+    /// Physical-medium (bus) share.
+    pub link_share: f64,
+}
+
+/// Reproduces Figure 4 from a Step-Counter Baseline run.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig04 {
+    let r = cfg.run(Scheme::Baseline, &[AppId::A2]);
+    let cal = Calibration::paper();
+    // Total bus-driven time, from the per-window processing accounting.
+    let transfer_busy: SimDuration = r
+        .app(AppId::A2)
+        .expect("A2 ran")
+        .windows
+        .iter()
+        .map(|w| w.processing.data_transfer)
+        .sum();
+    // During a transfer, all three draw simultaneously (§IV-F: no DMA —
+    // "both CPU and MCU have to be involved during the transfers").
+    let cpu = cal.cpu_active * transfer_busy;
+    let mcu = cal.mcu_active * transfer_busy;
+    let link = cal.link_active * transfer_busy;
+    let total = cpu + mcu + link;
+    Fig04 {
+        transfer_busy,
+        cpu_share: cpu.ratio_of(total),
+        mcu_share: mcu.ratio_of(total),
+        link_share: link.ratio_of(total),
+    }
+}
+
+impl fmt::Display for Fig04 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 4: data-transfer energy split (Step-Counter Baseline)"
+        )?;
+        writeln!(f, "  bus driven for      : {}", self.transfer_busy)?;
+        writeln!(
+            f,
+            "  CPU waiting/driving : {:5.1}%   (paper: 77%)",
+            self.cpu_share * 100.0
+        )?;
+        writeln!(
+            f,
+            "  MCU participation   : {:5.1}%   (paper: 13%)",
+            self.mcu_share * 100.0
+        )?;
+        writeln!(
+            f,
+            "  physical transfer   : {:5.1}%   (paper: 10%)",
+            self.link_share * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_matches_the_paper() {
+        let fig = run(&ExperimentConfig::quick());
+        assert!(
+            (fig.cpu_share - 0.77).abs() < 0.02,
+            "cpu {:.3}",
+            fig.cpu_share
+        );
+        assert!(
+            (fig.mcu_share - 0.13).abs() < 0.02,
+            "mcu {:.3}",
+            fig.mcu_share
+        );
+        assert!(
+            (fig.link_share - 0.10).abs() < 0.02,
+            "link {:.3}",
+            fig.link_share
+        );
+        let total = fig.cpu_share + fig.mcu_share + fig.link_share;
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "shares must sum to 1, got {total}"
+        );
+    }
+
+    #[test]
+    fn bus_time_matches_per_sample_cost() {
+        // 1000 samples × 0.192 ms per window (Figure 8).
+        let cfg = ExperimentConfig::quick();
+        let fig = run(&cfg);
+        let per_window = fig.transfer_busy.as_millis_f64() / f64::from(cfg.windows);
+        assert!(
+            (per_window - 192.0).abs() < 2.0,
+            "per-window bus time {per_window} ms"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 6 — per-app memory usage (heap + stack) and MIPS.
+
+use std::fmt;
+
+use iotse_core::AppId;
+use iotse_energy::report::value_chart;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// One Figure 6 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig06Row {
+    /// The app.
+    pub id: AppId,
+    /// Heap bytes.
+    pub heap_bytes: usize,
+    /// Stack bytes.
+    pub stack_bytes: usize,
+    /// Required MIPS.
+    pub mips: f64,
+}
+
+/// The Figure 6 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig06 {
+    /// A1–A10 rows.
+    pub rows: Vec<Fig06Row>,
+}
+
+impl Fig06 {
+    /// Mean total memory in KB (paper: 26.2).
+    #[must_use]
+    pub fn mean_memory_kb(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| (r.heap_bytes + r.stack_bytes) as f64 / 1024.0)
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Mean MIPS (paper: 47.45).
+    #[must_use]
+    pub fn mean_mips(&self) -> f64 {
+        self.rows.iter().map(|r| r.mips).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Reproduces Figure 6 from the app resource profiles.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig06 {
+    let rows = iotse_apps::catalog::light_apps(cfg.seed)
+        .iter()
+        .map(|a| {
+            let r = a.resources();
+            Fig06Row {
+                id: a.id(),
+                heap_bytes: r.heap_bytes,
+                stack_bytes: r.stack_bytes,
+                mips: r.mips,
+            }
+        })
+        .collect();
+    Fig06 { rows }
+}
+
+impl fmt::Display for Fig06 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6: memory usage and MIPS per app")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:4} heap={:6} B  stack={:4} B  mips={:7.2}",
+                r.id.to_string(),
+                r.heap_bytes,
+                r.stack_bytes,
+                r.mips
+            )?;
+        }
+        writeln!(
+            f,
+            "  mean memory = {:.1} KB (paper: 26.2), mean MIPS = {:.2} (paper: 47.45)",
+            self.mean_memory_kb(),
+            self.mean_mips()
+        )?;
+        let mips_rows: Vec<(String, f64)> = self
+            .rows
+            .iter()
+            .map(|r| (r.id.to_string(), r.mips))
+            .collect();
+        write!(f, "{}", value_chart("  MIPS:", &mips_rows, "MIPS", 50))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_match_the_paper() {
+        let fig = run(&ExperimentConfig::quick());
+        assert_eq!(fig.rows.len(), 10);
+        assert!(
+            (fig.mean_memory_kb() - 26.2).abs() < 0.3,
+            "{}",
+            fig.mean_memory_kb()
+        );
+        assert!((fig.mean_mips() - 47.45).abs() < 0.5, "{}", fig.mean_mips());
+    }
+
+    #[test]
+    fn stack_is_small_relative_to_heap() {
+        // Figure 6: 25.8 KB heap vs 0.4 KB stack on average.
+        let fig = run(&ExperimentConfig::quick());
+        for r in &fig.rows {
+            assert!(r.stack_bytes * 10 < r.heap_bytes, "{:?}", r.id);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 7 — step-counter energy breakdown: Baseline vs Batching,
+//! normalized to the Baseline total.
+
+use std::fmt;
+
+use iotse_core::{AppId, Scheme};
+use iotse_energy::attribution::Breakdown;
+use iotse_energy::report::{breakdown_chart, BreakdownRow};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// The Figure 7 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig07 {
+    /// Baseline breakdown.
+    pub baseline: Breakdown,
+    /// Batching breakdown.
+    pub batching: Breakdown,
+    /// Batching CPU sleep fraction (paper: 93%).
+    pub batching_sleep_fraction: f64,
+    /// Interrupts per run: Baseline.
+    pub baseline_interrupts: u64,
+    /// Interrupts per run: Batching.
+    pub batching_interrupts: u64,
+}
+
+impl Fig07 {
+    /// Total energy saving of Batching vs Baseline.
+    #[must_use]
+    pub fn saving(&self) -> f64 {
+        1.0 - self.batching.total().ratio_of(self.baseline.total())
+    }
+}
+
+/// Reproduces Figure 7.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig07 {
+    let baseline = cfg.run(Scheme::Baseline, &[AppId::A2]);
+    let batching = cfg.run(Scheme::Batching, &[AppId::A2]);
+    Fig07 {
+        baseline: baseline.breakdown(),
+        batching: batching.breakdown(),
+        batching_sleep_fraction: batching.cpu.sleep_fraction(),
+        baseline_interrupts: baseline.interrupts,
+        batching_interrupts: batching.interrupts,
+    }
+}
+
+impl fmt::Display for Fig07 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7: step-counter breakdown, Baseline vs Batching")?;
+        let rows = vec![
+            BreakdownRow {
+                label: "Baseline".into(),
+                breakdown: self.baseline,
+            },
+            BreakdownRow {
+                label: "Batching".into(),
+                breakdown: self.batching,
+            },
+        ];
+        write!(
+            f,
+            "{}",
+            breakdown_chart("", &rows, self.baseline.total(), 60)
+        )?;
+        writeln!(
+            f,
+            "  interrupts {} -> {} ; CPU sleeps {:.0}% of the time; saving {:.1}%   (paper: ~50-63%)",
+            self.baseline_interrupts,
+            self.batching_interrupts,
+            self.batching_sleep_fraction * 100.0,
+            self.saving() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_cuts_interrupts_1000_to_1() {
+        let cfg = ExperimentConfig::quick();
+        let fig = run(&cfg);
+        assert_eq!(fig.baseline_interrupts, u64::from(cfg.windows) * 1000);
+        assert_eq!(fig.batching_interrupts, u64::from(cfg.windows));
+    }
+
+    #[test]
+    fn saving_and_sleep_match_the_paper_band() {
+        let fig = run(&ExperimentConfig::quick());
+        assert!(
+            (0.45..=0.70).contains(&fig.saving()),
+            "saving {:.3}",
+            fig.saving()
+        );
+        assert!(
+            fig.batching_sleep_fraction > 0.85,
+            "{:.3}",
+            fig.batching_sleep_fraction
+        );
+        // Interrupt energy nearly vanishes; transfer stays dominant.
+        assert!(
+            fig.batching.interrupt.as_millijoules()
+                < fig.baseline.interrupt.as_millijoules() * 0.05
+        );
+        assert!(fig.batching.data_transfer.ratio_of(fig.batching.total()) > 0.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 8 — step-counter per-window timing breakdown: Baseline vs COM.
+//!
+//! The paper's bars: Baseline 100 (collection) + 48 (interrupt) + 192
+//! (transfer) + 2.21 (compute) ms; COM 100 + 21.7 ms.
+
+use std::fmt;
+
+use iotse_core::result::RoutineDurations;
+use iotse_core::{AppId, Scheme};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// The Figure 8 result: mean per-window routine durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig08 {
+    /// Baseline routine durations.
+    pub baseline: RoutineDurations,
+    /// COM routine durations.
+    pub com: RoutineDurations,
+}
+
+impl Fig08 {
+    /// The performance ratio Baseline/COM (the paper's speedup argument:
+    /// `(21.7 − 2.21) < (48 + 192)` makes COM faster).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline.total().as_secs_f64() / self.com.total().as_secs_f64()
+    }
+}
+
+/// Reproduces Figure 8.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig08 {
+    let baseline = cfg.run(Scheme::Baseline, &[AppId::A2]);
+    let com = cfg.run(Scheme::Com, &[AppId::A2]);
+    Fig08 {
+        baseline: baseline.app(AppId::A2).expect("ran").mean_routines(),
+        com: com.app(AppId::A2).expect("ran").mean_routines(),
+    }
+}
+
+fn row(f: &mut fmt::Formatter<'_>, label: &str, d: &RoutineDurations) -> fmt::Result {
+    writeln!(
+        f,
+        "  {label:9} coll={:7.2} ms  int={:6.2} ms  tx={:7.2} ms  comp={:6.2} ms  total={:7.2} ms",
+        d.data_collection.as_millis_f64(),
+        d.interrupt.as_millis_f64(),
+        d.data_transfer.as_millis_f64(),
+        d.app_compute.as_millis_f64(),
+        d.total().as_millis_f64(),
+    )
+}
+
+impl fmt::Display for Fig08 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8: step-counter timing per window, Baseline vs COM"
+        )?;
+        row(f, "Baseline", &self.baseline)?;
+        row(f, "COM", &self.com)?;
+        writeln!(
+            f,
+            "  paper:    Baseline 100 + 48 + 192 + 2.21 ms; COM 100 + 21.7 ms"
+        )?;
+        writeln!(f, "  speedup = {:.2}x", self.speedup())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_bars_match_the_papers_milliseconds() {
+        let fig = run(&ExperimentConfig::quick());
+        let b = fig.baseline;
+        assert!(
+            (b.data_collection.as_millis_f64() - 100.0).abs() < 2.0,
+            "collection"
+        );
+        assert!(
+            (b.interrupt.as_millis_f64() - 48.0).abs() < 1.0,
+            "interrupt"
+        );
+        assert!(
+            (b.data_transfer.as_millis_f64() - 192.0).abs() < 3.0,
+            "transfer"
+        );
+        assert!(
+            (b.app_compute.as_millis_f64() - 2.21).abs() < 0.1,
+            "compute"
+        );
+    }
+
+    #[test]
+    fn com_eliminates_interrupts_and_transfers() {
+        let fig = run(&ExperimentConfig::quick());
+        let c = fig.com;
+        assert!((c.data_collection.as_millis_f64() - 100.0).abs() < 2.0);
+        assert!((c.app_compute.as_millis_f64() - 21.7).abs() < 0.5);
+        // One result interrupt + a 4-byte transfer remain: well under 1 ms.
+        assert!(
+            c.interrupt.as_millis_f64() < 0.2,
+            "{}",
+            c.interrupt.as_millis_f64()
+        );
+        assert!(
+            c.data_transfer.as_millis_f64() < 0.5,
+            "{}",
+            c.data_transfer.as_millis_f64()
+        );
+        // The paper's inequality: COM is faster despite the slower MCU.
+        assert!(fig.speedup() > 2.0, "speedup {:.2}", fig.speedup());
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 9 — step-counter energy breakdown across all three single-app
+//! schemes: Baseline, Batching, COM.
+
+use std::fmt;
+
+use iotse_core::{AppId, Scheme};
+use iotse_energy::attribution::Breakdown;
+use iotse_energy::report::{breakdown_chart, BreakdownRow};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// The Figure 9 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig09 {
+    /// `(scheme, breakdown)` for Baseline, Batching, COM.
+    pub bars: Vec<(Scheme, Breakdown)>,
+}
+
+impl Fig09 {
+    /// Saving of `scheme` relative to Baseline.
+    #[must_use]
+    pub fn saving(&self, scheme: Scheme) -> f64 {
+        let baseline = self.bars[0].1.total();
+        let bar = self
+            .bars
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, b)| b.total())
+            .unwrap_or(baseline);
+        1.0 - bar.ratio_of(baseline)
+    }
+}
+
+/// Reproduces Figure 9.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig09 {
+    let bars = Scheme::SINGLE_APP
+        .iter()
+        .map(|&scheme| (scheme, cfg.run(scheme, &[AppId::A2]).breakdown()))
+        .collect();
+    Fig09 { bars }
+}
+
+impl fmt::Display for Fig09 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 9: step-counter breakdown, Baseline / Batching / COM"
+        )?;
+        let reference = self.bars[0].1.total();
+        let rows: Vec<BreakdownRow> = self
+            .bars
+            .iter()
+            .map(|(s, b)| BreakdownRow {
+                label: s.to_string(),
+                breakdown: *b,
+            })
+            .collect();
+        write!(f, "{}", breakdown_chart("", &rows, reference, 60))?;
+        writeln!(
+            f,
+            "  savings: Batching {:.1}%, COM {:.1}%   (paper: ~50% / 73%+)",
+            self.saving(Scheme::Batching) * 100.0,
+            self.saving(Scheme::Com) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn com_beats_batching_beats_baseline() {
+        let fig = run(&ExperimentConfig::quick());
+        let totals: Vec<f64> = fig
+            .bars
+            .iter()
+            .map(|(_, b)| b.total().as_millijoules())
+            .collect();
+        assert!(totals[1] < totals[0], "Batching saves");
+        assert!(totals[2] < totals[1], "COM saves more");
+        assert!(
+            fig.saving(Scheme::Com) > 0.75,
+            "COM saving {:.3}",
+            fig.saving(Scheme::Com)
+        );
+    }
+
+    #[test]
+    fn com_compute_share_grows_like_the_paper_says() {
+        // §III-B4: the app-specific routine becomes the visible share under
+        // COM (the slower MCU computes while the CPU sleeps on its behalf).
+        let fig = run(&ExperimentConfig::quick());
+        let com = fig.bars[2].1;
+        let share = com.app_compute.ratio_of(com.total());
+        let baseline_share = fig.bars[0].1.app_compute.ratio_of(fig.bars[0].1.total());
+        assert!(share > baseline_share * 5.0, "COM compute share {share:.3}");
+    }
+}

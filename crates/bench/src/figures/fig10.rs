@@ -1,0 +1,151 @@
+//! Figure 10 — normalized energy breakdown of all ten light-weight apps
+//! under Baseline, Batching and COM (the paper's headline single-app
+//! result: Batching saves 52% on average, COM 85%).
+
+use std::fmt;
+
+use iotse_core::{AppId, Scheme};
+use iotse_energy::attribution::Breakdown;
+use iotse_energy::report::{breakdown_chart, BreakdownRow};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// One app's three bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// The app.
+    pub id: AppId,
+    /// Baseline breakdown.
+    pub baseline: Breakdown,
+    /// Batching breakdown.
+    pub batching: Breakdown,
+    /// COM breakdown.
+    pub com: Breakdown,
+}
+
+impl Fig10Row {
+    /// Batching saving vs Baseline.
+    #[must_use]
+    pub fn batching_saving(&self) -> f64 {
+        1.0 - self.batching.total().ratio_of(self.baseline.total())
+    }
+
+    /// COM saving vs Baseline.
+    #[must_use]
+    pub fn com_saving(&self) -> f64 {
+        1.0 - self.com.total().ratio_of(self.baseline.total())
+    }
+}
+
+/// The Figure 10 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// A1–A10 rows.
+    pub rows: Vec<Fig10Row>,
+}
+
+impl Fig10 {
+    /// Mean Batching saving (paper: 52%).
+    #[must_use]
+    pub fn mean_batching_saving(&self) -> f64 {
+        self.rows.iter().map(Fig10Row::batching_saving).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean COM saving (paper: 85%).
+    #[must_use]
+    pub fn mean_com_saving(&self) -> f64 {
+        self.rows.iter().map(Fig10Row::com_saving).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Reproduces Figure 10.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig10 {
+    let rows = AppId::LIGHT
+        .iter()
+        .map(|&id| Fig10Row {
+            id,
+            baseline: cfg.run(Scheme::Baseline, &[id]).breakdown(),
+            batching: cfg.run(Scheme::Batching, &[id]).breakdown(),
+            com: cfg.run(Scheme::Com, &[id]).breakdown(),
+        })
+        .collect();
+    Fig10 { rows }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 10: normalized breakdown per app x scheme (lower is better)"
+        )?;
+        for r in &self.rows {
+            let rows = vec![
+                BreakdownRow {
+                    label: format!("{} Baseline", r.id),
+                    breakdown: r.baseline,
+                },
+                BreakdownRow {
+                    label: format!("{} Batching", r.id),
+                    breakdown: r.batching,
+                },
+                BreakdownRow {
+                    label: format!("{} COM", r.id),
+                    breakdown: r.com,
+                },
+            ];
+            write!(f, "{}", breakdown_chart("", &rows, r.baseline.total(), 50))?;
+        }
+        writeln!(
+            f,
+            "  mean savings: Batching {:.1}% (paper 52%), COM {:.1}% (paper 85%)",
+            self.mean_batching_saving() * 100.0,
+            self.mean_com_saving() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_savings_are_in_the_papers_neighbourhood() {
+        let fig = run(&ExperimentConfig::quick());
+        let batching = fig.mean_batching_saving();
+        let com = fig.mean_com_saving();
+        assert!(
+            (0.45..=0.65).contains(&batching),
+            "Batching mean {batching:.3} (paper 0.52)"
+        );
+        assert!(
+            (0.78..=0.92).contains(&com),
+            "COM mean {com:.3} (paper 0.85)"
+        );
+    }
+
+    #[test]
+    fn com_beats_batching_for_every_app() {
+        let fig = run(&ExperimentConfig::quick());
+        for r in &fig.rows {
+            assert!(
+                r.com_saving() > r.batching_saving(),
+                "{}: COM {:.3} vs Batching {:.3}",
+                r.id,
+                r.com_saving(),
+                r.batching_saving()
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_dominates_every_baseline_bar() {
+        // §IV-E1: the data-transfer routine is ~81% of Baseline energy.
+        let fig = run(&ExperimentConfig::quick());
+        for r in &fig.rows {
+            let share = r.baseline.data_transfer.ratio_of(r.baseline.total());
+            assert!(share > 0.6, "{}: transfer share {share:.3}", r.id);
+        }
+    }
+}

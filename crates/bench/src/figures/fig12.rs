@@ -1,0 +1,153 @@
+//! Figure 12 — scenarios involving the heavy-weight speech-to-text app:
+//! (a) A11 alone (Baseline vs Batching), (b) A11+A6 and (c) A11+A6+A1
+//! under Baseline / BEAM / Batching / BCOM.
+
+use std::fmt;
+
+use iotse_core::{AppId, Scheme};
+use iotse_energy::attribution::Breakdown;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// One scenario panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12Panel {
+    /// The apps run concurrently.
+    pub combo: Vec<AppId>,
+    /// `(scheme, breakdown)` bars in figure order.
+    pub bars: Vec<(Scheme, Breakdown)>,
+}
+
+impl Fig12Panel {
+    /// Saving of `scheme` relative to the panel's Baseline bar.
+    #[must_use]
+    pub fn saving(&self, scheme: Scheme) -> Option<f64> {
+        let baseline = self.bars.first()?.1.total();
+        let bar = self.bars.iter().find(|(s, _)| *s == scheme)?.1.total();
+        Some(1.0 - bar.ratio_of(baseline))
+    }
+
+    /// A compact label like `"A11+A6"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.combo
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// The Figure 12 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12 {
+    /// Panels (a), (b), (c).
+    pub panels: Vec<Fig12Panel>,
+}
+
+/// Reproduces Figure 12.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig12 {
+    let alone = Fig12Panel {
+        combo: vec![AppId::A11],
+        bars: [Scheme::Baseline, Scheme::Batching]
+            .iter()
+            .map(|&s| (s, cfg.run(s, &[AppId::A11]).breakdown()))
+            .collect(),
+    };
+    let multi = |combo: Vec<AppId>| Fig12Panel {
+        bars: [
+            Scheme::Baseline,
+            Scheme::Beam,
+            Scheme::Batching,
+            Scheme::Bcom,
+        ]
+        .iter()
+        .map(|&s| (s, cfg.run(s, &combo).breakdown()))
+        .collect(),
+        combo,
+    };
+    Fig12 {
+        panels: vec![
+            alone,
+            multi(vec![AppId::A11, AppId::A6]),
+            multi(vec![AppId::A11, AppId::A6, AppId::A1]),
+        ],
+    }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 12: heavy-weight (A11) scenarios")?;
+        for p in &self.panels {
+            write!(f, "  {:12}", p.label())?;
+            for (scheme, b) in &p.bars {
+                let saving = p.saving(*scheme).unwrap_or(0.0);
+                write!(
+                    f,
+                    "  {scheme}={:8.1} mJ ({:+5.1}%)",
+                    b.total().as_millijoules(),
+                    -saving * 100.0
+                )?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "  paper: A11 alone Batching -5%; A11+A6 BCOM -9%; A11+A6+A1 BCOM -10%"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_savings_are_modest_and_ordered() {
+        let fig = run(&ExperimentConfig::quick());
+        // (a) Batching saves something, but far less than on light apps.
+        let alone = fig.panels[0].saving(Scheme::Batching).expect("bar");
+        assert!(
+            alone > 0.0 && alone < 0.45,
+            "A11 alone batching saving {alone:.3}"
+        );
+        // (b)/(c): BEAM < Batching < BCOM, the paper's ordering.
+        for p in &fig.panels[1..] {
+            let beam = p.saving(Scheme::Beam).expect("beam");
+            let batching = p.saving(Scheme::Batching).expect("batching");
+            let bcom = p.saving(Scheme::Bcom).expect("bcom");
+            assert!(
+                beam < batching,
+                "{}: beam {beam:.3} < batching {batching:.3}",
+                p.label()
+            );
+            assert!(
+                batching < bcom,
+                "{}: batching {batching:.3} < bcom {bcom:.3}",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn compute_dominates_a11_baseline() {
+        // Figure 12a: the app-specific routine is the biggest share of
+        // A11's Baseline energy (the paper measured 78%).
+        let fig = run(&ExperimentConfig::quick());
+        let baseline = fig.panels[0].bars[0].1;
+        let share = baseline.app_compute.ratio_of(baseline.total());
+        assert!(share > 0.5, "compute share {share:.3}");
+    }
+
+    #[test]
+    fn adding_more_light_apps_helps_bcom() {
+        // Offloading A6 and A1 frees more of the hub: panel (c)'s BCOM
+        // saving exceeds panel (b)'s.
+        let fig = run(&ExperimentConfig::quick());
+        let b = fig.panels[1].saving(Scheme::Bcom).expect("bar");
+        let c = fig.panels[2].saving(Scheme::Bcom).expect("bar");
+        assert!(c > b, "{c:.3} must exceed {b:.3}");
+    }
+}

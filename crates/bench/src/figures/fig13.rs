@@ -1,0 +1,102 @@
+//! Figure 13 — per-app performance speedup of COM over Baseline
+//! (paper: 1.88× on average; A3 and A8 slow down).
+
+use std::fmt;
+
+use iotse_core::{AppId, Scheme};
+use iotse_energy::report::value_chart;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// The Figure 13 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// `(app, speedup)` in app order.
+    pub speedups: Vec<(AppId, f64)>,
+}
+
+impl Fig13 {
+    /// Mean speedup (paper: 1.88×).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.speedups.iter().map(|&(_, s)| s).sum::<f64>() / self.speedups.len() as f64
+    }
+
+    /// The speedup of one app.
+    #[must_use]
+    pub fn of(&self, id: AppId) -> Option<f64> {
+        self.speedups
+            .iter()
+            .find(|&&(a, _)| a == id)
+            .map(|&(_, s)| s)
+    }
+}
+
+/// Reproduces Figure 13.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Fig13 {
+    let speedups = AppId::LIGHT
+        .iter()
+        .map(|&id| {
+            let baseline = cfg.run(Scheme::Baseline, &[id]);
+            let com = cfg.run(Scheme::Com, &[id]);
+            (id, com.speedup_vs(&baseline, id).expect("both ran"))
+        })
+        .collect();
+    Fig13 { speedups }
+}
+
+impl fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 13: COM speedup over Baseline (processing time per window)"
+        )?;
+        let rows: Vec<(String, f64)> = self
+            .speedups
+            .iter()
+            .map(|&(id, s)| (id.to_string(), s))
+            .collect();
+        write!(f, "{}", value_chart("", &rows, "x", 50))?;
+        writeln!(
+            f,
+            "  mean = {:.2}x   (paper: 1.88x; A3 0.9x and A8 0.8x slow down)",
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_speedup_is_near_the_paper() {
+        let fig = run(&ExperimentConfig::quick());
+        let mean = fig.mean();
+        assert!(
+            (1.5..=2.2).contains(&mean),
+            "mean speedup {mean:.2} (paper 1.88)"
+        );
+    }
+
+    #[test]
+    fn a3_and_a8_slow_down_everything_else_speeds_up() {
+        let fig = run(&ExperimentConfig::quick());
+        assert!(fig.of(AppId::A3).expect("A3") < 1.0, "A3 must slow down");
+        assert!(fig.of(AppId::A8).expect("A8") < 1.0, "A8 must slow down");
+        for &(id, s) in &fig.speedups {
+            if id != AppId::A3 && id != AppId::A8 {
+                assert!(s >= 1.0, "{id} should not slow down, got {s:.2}");
+            }
+        }
+    }
+
+    #[test]
+    fn a8_matches_the_papers_point_eight() {
+        let fig = run(&ExperimentConfig::quick());
+        let a8 = fig.of(AppId::A8).expect("A8");
+        assert!((a8 - 0.8).abs() < 0.05, "A8 speedup {a8:.3} (paper 0.8)");
+    }
+}

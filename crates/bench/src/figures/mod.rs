@@ -1,0 +1,16 @@
+//! One module per paper figure/table, each exposing `run(&ExperimentConfig)`
+//! returning a typed result with a `Display` rendering.
+
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod tables;

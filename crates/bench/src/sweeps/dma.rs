@@ -1,0 +1,160 @@
+//! The §IV-F future-work experiment: add a DMA engine to the interconnect.
+//!
+//! The paper: *"The energy consumption of data transfer is high, mainly
+//! because there is no DMA or shared-memory hardware support and both CPU
+//! and MCU have to be involved during the transfers. As our future work,
+//! we plan to explore hardware optimizations to address the energy
+//! inefficiencies in heavy-weight workloads."* This sweep runs that
+//! experiment.
+
+use std::fmt;
+
+use iotse_core::calibration::Calibration;
+use iotse_core::{AppId, Scenario, Scheme};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// One scenario × scheme pair, with and without DMA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DmaPoint {
+    /// Scenario label.
+    pub label: String,
+    /// Scheme run.
+    pub scheme: Scheme,
+    /// Energy without DMA, mJ.
+    pub without_mj: f64,
+    /// Energy with DMA, mJ.
+    pub with_mj: f64,
+}
+
+impl DmaPoint {
+    /// Fractional saving DMA adds to this scheme.
+    #[must_use]
+    pub fn dma_saving(&self) -> f64 {
+        1.0 - self.with_mj / self.without_mj
+    }
+}
+
+/// The DMA experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DmaSweep {
+    /// All points.
+    pub points: Vec<DmaPoint>,
+}
+
+/// Runs the experiment over a light app (A2), the heavy app alone (A11)
+/// and the paper's mixed heavy scenario (A11+A6).
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> DmaSweep {
+    let mut points = Vec::new();
+    let scenarios: [(&str, &[AppId]); 3] = [
+        ("A2", &[AppId::A2]),
+        ("A11", &[AppId::A11]),
+        ("A11+A6", &[AppId::A11, AppId::A6]),
+    ];
+    for (label, apps) in scenarios {
+        for scheme in [Scheme::Baseline, Scheme::Batching, Scheme::Bcom] {
+            let run_with = |cal: Calibration| {
+                Scenario::new(scheme, iotse_apps::catalog::apps(apps, cfg.seed))
+                    .windows(cfg.windows)
+                    .seed(cfg.seed)
+                    .calibration(cal)
+                    .run()
+            };
+            let without = run_with(Calibration::paper());
+            let with = run_with(Calibration::paper().with_dma());
+            points.push(DmaPoint {
+                label: label.to_string(),
+                scheme,
+                without_mj: without.total_energy().as_millijoules(),
+                with_mj: with.total_energy().as_millijoules(),
+            });
+        }
+    }
+    DmaSweep { points }
+}
+
+impl fmt::Display for DmaSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Future work (§IV-F): adding DMA to the interconnect")?;
+        writeln!(
+            f,
+            "  scenario  scheme     no-DMA (mJ)   DMA (mJ)   DMA adds"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  {:8}  {:9}  {:10.1}  {:10.1}   {:6.1}%",
+                p.label,
+                p.scheme.to_string(),
+                p.without_mj,
+                p.with_mj,
+                p.dma_saving() * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "  (DMA pays where transfers are long and sleepable-through: the"
+        )?;
+        writeln!(
+            f,
+            "   bulk flushes of Batching; saturated heavy baselines also gain"
+        )?;
+        writeln!(f, "   by shedding transfer busy-time)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point<'a>(sweep: &'a DmaSweep, label: &str, scheme: Scheme) -> &'a DmaPoint {
+        sweep
+            .points
+            .iter()
+            .find(|p| p.label == label && p.scheme == scheme)
+            .expect("point exists")
+    }
+
+    #[test]
+    fn dma_never_costs_energy() {
+        let sweep = run(&ExperimentConfig::quick());
+        for p in &sweep.points {
+            assert!(
+                p.dma_saving() >= -1e-9,
+                "{} {}: DMA must not cost, saving {:.4}",
+                p.label,
+                p.scheme,
+                p.dma_saving()
+            );
+        }
+    }
+
+    #[test]
+    fn dma_helps_bulk_flushes_far_more_than_per_sample_flows() {
+        // A Batching flush is one long transfer the CPU can now sleep
+        // through; Baseline's per-sample transfers are too short to matter.
+        let sweep = run(&ExperimentConfig::quick());
+        let batched = point(&sweep, "A2", Scheme::Batching).dma_saving();
+        let baseline = point(&sweep, "A2", Scheme::Baseline).dma_saving();
+        assert!(
+            batched > baseline * 3.0,
+            "batched {batched:.3} must dwarf baseline {baseline:.3}"
+        );
+        assert!(
+            batched > 0.10,
+            "DMA must visibly help a bulk flush: {batched:.3}"
+        );
+    }
+
+    #[test]
+    fn dma_visibly_helps_the_heavy_scenario() {
+        // The paper's future-work motivation: heavy-weight workloads.
+        let sweep = run(&ExperimentConfig::quick());
+        for scheme in [Scheme::Baseline, Scheme::Batching, Scheme::Bcom] {
+            let saving = point(&sweep, "A11+A6", scheme).dma_saving();
+            assert!(saving > 0.03, "{scheme}: {saving:.3}");
+        }
+    }
+}

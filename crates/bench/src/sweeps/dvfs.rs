@@ -1,0 +1,213 @@
+//! Race-to-sleep vs slow-and-steady (DVFS) ablation.
+//!
+//! The paper's platform races at full clock and sleeps (its reference \[35\]
+//! is literally titled *race-to-sleep*). This sweep asks whether that was
+//! right: scale the CPU clock by `s` (compute stretches by `1/s`, active
+//! power scales ≈ cubically with frequency·voltage²), run the
+//! compute-heavy A8 under Batching, and compare.
+
+use std::fmt;
+
+use iotse_core::calibration::Calibration;
+use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};
+use iotse_core::{Scenario, Scheme};
+use iotse_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// Clock-scale factors swept (1.0 = the Pi 3B's shipping operating point).
+pub const SPEEDS: [f64; 5] = [0.5, 0.6, 0.8, 1.0, 1.2];
+
+/// Exponent of the power-vs-frequency model (`P ∝ s^3`, the classic
+/// `f·V²` approximation with voltage tracking frequency).
+pub const POWER_EXPONENT: f64 = 3.0;
+
+/// Floor below which active power cannot fall (uncore, DRAM, board).
+pub const STATIC_FLOOR_W: f64 = 1.2;
+
+/// Wraps a workload with its CPU compute time stretched by `1/speed`.
+struct ScaledCpu {
+    inner: Box<dyn Workload>,
+    speed: f64,
+}
+
+impl Workload for ScaledCpu {
+    fn id(&self) -> AppId {
+        self.inner.id()
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn window(&self) -> SimDuration {
+        self.inner.window()
+    }
+    fn sensors(&self) -> Vec<SensorUsage> {
+        self.inner.sensors()
+    }
+    fn resources(&self) -> ResourceProfile {
+        let r = self.inner.resources();
+        ResourceProfile {
+            cpu_compute: r.cpu_compute.mul_f64(1.0 / self.speed),
+            ..r
+        }
+    }
+    fn compute(&mut self, data: &WindowData) -> AppOutput {
+        self.inner.compute(data)
+    }
+}
+
+/// CPU active power at clock scale `s`.
+#[must_use]
+pub fn scaled_active_power_w(speed: f64) -> f64 {
+    let nominal = 5.0;
+    let dynamic = nominal - STATIC_FLOOR_W;
+    STATIC_FLOOR_W + dynamic * speed.powf(POWER_EXPONENT)
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPoint {
+    /// Clock scale.
+    pub speed: f64,
+    /// Active power at this scale, watts.
+    pub active_w: f64,
+    /// Total energy for the A8 Batching scenario, mJ.
+    pub energy_mj: f64,
+    /// QoS violations observed.
+    pub qos_violations: usize,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsSweep {
+    /// One point per speed.
+    pub points: Vec<DvfsPoint>,
+}
+
+impl DvfsSweep {
+    /// The QoS-feasible point with the least energy.
+    #[must_use]
+    pub fn best(&self) -> Option<&DvfsPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.qos_violations == 0)
+            .min_by(|a, b| a.energy_mj.partial_cmp(&b.energy_mj).expect("finite"))
+    }
+}
+
+/// Runs the sweep (A8 under Batching — the most compute-bound light app).
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> DvfsSweep {
+    let points = SPEEDS
+        .iter()
+        .map(|&speed| {
+            let mut cal = Calibration::paper();
+            let active = scaled_active_power_w(speed);
+            cal.cpu_active = iotse_energy::Power::from_watts(active);
+            // Keep the break-even consistent with the new active power.
+            let implied = cal.transition_energy().as_joules()
+                / (cal.cpu_active - cal.cpu_sleep).as_watts().max(0.1);
+            cal.sleep_break_even = SimDuration::from_secs_f64(implied);
+            let app = ScaledCpu {
+                inner: iotse_apps::catalog::app(AppId::A8, cfg.seed),
+                speed,
+            };
+            let r = Scenario::new(Scheme::Batching, vec![Box::new(app)])
+                .windows(cfg.windows)
+                .seed(cfg.seed)
+                .calibration(cal)
+                .run();
+            DvfsPoint {
+                speed,
+                active_w: active,
+                energy_mj: r.total_energy().as_millijoules(),
+                qos_violations: r.qos_violations(),
+            }
+        })
+        .collect();
+    DvfsSweep { points }
+}
+
+impl fmt::Display for DvfsSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Ablation: DVFS operating point vs race-to-sleep (A8, Batching)"
+        )?;
+        writeln!(f, "  clock   active power   energy (mJ)   QoS misses")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  {:4.1}x   {:9.2} W   {:11.1}   {}",
+                p.speed, p.active_w, p.energy_mj, p.qos_violations
+            )?;
+        }
+        if let Some(best) = self.best() {
+            writeln!(f, "  best QoS-feasible point: {:.1}x clock", best.speed)?;
+        }
+        writeln!(
+            f,
+            "  (cubic power model with a {STATIC_FLOOR_W} W static floor)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_model_is_sane() {
+        assert!((scaled_active_power_w(1.0) - 5.0).abs() < 1e-9);
+        assert!(scaled_active_power_w(0.5) > STATIC_FLOOR_W);
+        assert!(scaled_active_power_w(1.2) > 5.0);
+    }
+
+    #[test]
+    fn results_are_qos_feasible_at_nominal_speed() {
+        let sweep = run(&ExperimentConfig::quick());
+        let nominal = sweep
+            .points
+            .iter()
+            .find(|p| p.speed == 1.0)
+            .expect("nominal");
+        assert_eq!(nominal.qos_violations, 0);
+        assert!(sweep.best().is_some());
+    }
+
+    #[test]
+    fn overclocking_costs_energy() {
+        // At 1.2× the cubic dynamic power outweighs the shorter busy time
+        // for a workload that is mostly *not* compute.
+        let sweep = run(&ExperimentConfig::quick());
+        let nominal = sweep
+            .points
+            .iter()
+            .find(|p| p.speed == 1.0)
+            .expect("nominal");
+        let fast = sweep.points.iter().find(|p| p.speed == 1.2).expect("fast");
+        assert!(
+            fast.energy_mj > nominal.energy_mj * 0.99,
+            "{fast:?} vs {nominal:?}"
+        );
+    }
+
+    #[test]
+    fn some_downscaling_beats_racing_under_batching() {
+        // With a static floor and cubic dynamics, the energy-optimal clock
+        // for a batched workload sits below 1.0 — the interesting finding
+        // this ablation documents.
+        let sweep = run(&ExperimentConfig::quick());
+        let nominal = sweep
+            .points
+            .iter()
+            .find(|p| p.speed == 1.0)
+            .expect("nominal");
+        let best = sweep.best().expect("a feasible point");
+        assert!(
+            best.energy_mj <= nominal.energy_mj,
+            "best {best:?} vs nominal {nominal:?}"
+        );
+    }
+}

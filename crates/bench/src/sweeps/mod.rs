@@ -1,0 +1,87 @@
+//! Ablation and sensitivity sweeps — experiments beyond the paper's
+//! figures that probe the design choices DESIGN.md calls out: the sleep
+//! transition cost behind Batching, the MCU speed behind COM's crossover,
+//! the §IV-F future-work DMA engine, the DVFS operating point vs
+//! race-to-sleep, and robustness to sensor failures.
+
+pub mod dma;
+pub mod dvfs;
+pub mod error_rate;
+pub mod mcu_speed;
+pub mod transition;
+
+use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};
+use iotse_sim::time::SimDuration;
+
+/// Wraps a workload with its MCU compute time scaled by a factor —
+/// the knob behind the COM-crossover sweep.
+pub struct ScaledMcu {
+    inner: Box<dyn Workload>,
+    factor: f64,
+}
+
+impl ScaledMcu {
+    /// Wraps `inner`, scaling its MCU compute time by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    #[must_use]
+    pub fn new(inner: Box<dyn Workload>, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
+        ScaledMcu { inner, factor }
+    }
+}
+
+impl Workload for ScaledMcu {
+    fn id(&self) -> AppId {
+        self.inner.id()
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn window(&self) -> SimDuration {
+        self.inner.window()
+    }
+    fn sensors(&self) -> Vec<SensorUsage> {
+        self.inner.sensors()
+    }
+    fn resources(&self) -> ResourceProfile {
+        let r = self.inner.resources();
+        ResourceProfile {
+            mcu_compute: r.mcu_compute.mul_f64(self.factor),
+            ..r
+        }
+    }
+    fn compute(&mut self, data: &WindowData) -> AppOutput {
+        self.inner.compute(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_apps::catalog;
+
+    #[test]
+    fn scaled_mcu_only_touches_mcu_compute() {
+        let plain = catalog::app(AppId::A2, 1);
+        let scaled = ScaledMcu::new(catalog::app(AppId::A2, 1), 3.0);
+        let a = plain.resources();
+        let b = scaled.resources();
+        assert_eq!(a.cpu_compute, b.cpu_compute);
+        assert_eq!(a.heap_bytes, b.heap_bytes);
+        assert_eq!(b.mcu_compute, a.mcu_compute.mul_f64(3.0));
+        assert_eq!(scaled.id(), AppId::A2);
+        assert_eq!(scaled.sensors(), plain.sensors());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_mcu_rejects_bad_factor() {
+        let _ = ScaledMcu::new(catalog::app(AppId::A2, 1), 0.0);
+    }
+}

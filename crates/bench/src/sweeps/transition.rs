@@ -1,0 +1,132 @@
+//! Sleep-transition-cost ablation.
+//!
+//! Batching's entire benefit rests on the §III-A economics: a 4 mJ
+//! transition amortized over a long sleep. This sweep scales the
+//! transition time (keeping the break-even consistent) and watches
+//! Batching's saving erode — on a platform with expensive C-state entry,
+//! batching low-rate apps stops paying.
+
+use std::fmt;
+
+use iotse_core::calibration::Calibration;
+use iotse_core::{AppId, Scheme};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+
+/// The transition-time multipliers swept.
+pub const FACTORS: [f64; 6] = [0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionPoint {
+    /// Transition-time multiplier over the paper's 1.6 ms.
+    pub factor: f64,
+    /// Step-counter (1 kHz) Batching saving at this cost.
+    pub a2_saving: f64,
+    /// arduinoJSON (10 Hz) Batching saving at this cost.
+    pub a3_saving: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionSweep {
+    /// One point per factor.
+    pub points: Vec<TransitionPoint>,
+}
+
+/// Calibration with the transition scaled and the break-even kept
+/// consistent (`E_transition / (P_active − P_sleep)`).
+#[must_use]
+pub fn scaled_calibration(factor: f64) -> Calibration {
+    let mut cal = Calibration::paper();
+    cal.cpu_transition_time = cal.cpu_transition_time.mul_f64(factor);
+    let implied = cal.transition_energy().as_joules() / (cal.cpu_active - cal.cpu_sleep).as_watts();
+    cal.sleep_break_even = iotse_sim::time::SimDuration::from_secs_f64(implied);
+    cal
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> TransitionSweep {
+    let saving = |id: AppId, cal: &Calibration| {
+        let scenario = |scheme| {
+            iotse_core::Scenario::new(scheme, iotse_apps::catalog::apps(&[id], cfg.seed))
+                .windows(cfg.windows)
+                .seed(cfg.seed)
+                .calibration(cal.clone())
+                .run()
+        };
+        scenario(Scheme::Batching).savings_vs(&scenario(Scheme::Baseline))
+    };
+    let points = FACTORS
+        .iter()
+        .map(|&factor| {
+            let cal = scaled_calibration(factor);
+            TransitionPoint {
+                factor,
+                a2_saving: saving(AppId::A2, &cal),
+                a3_saving: saving(AppId::A3, &cal),
+            }
+        })
+        .collect();
+    TransitionSweep { points }
+}
+
+impl fmt::Display for TransitionSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation: sleep-transition cost vs Batching saving")?;
+        writeln!(f, "  factor   transition   A2 (1 kHz)   A3 (10 Hz)")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  {:6.2}x  {:>9}   {:9.1}%   {:9.1}%",
+                p.factor,
+                scaled_calibration(p.factor).cpu_transition_time,
+                p.a2_saving * 100.0,
+                p.a3_saving * 100.0
+            )?;
+        }
+        writeln!(f, "  (the paper's platform is factor 1.00: 1.6 ms, 4 mJ)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_erode_as_transitions_get_expensive() {
+        let sweep = run(&ExperimentConfig::quick());
+        let first = sweep.points.first().expect("points");
+        let last = sweep.points.last().expect("points");
+        assert!(first.a2_saving > last.a2_saving, "A2 saving must erode");
+        assert!(first.a3_saving > last.a3_saving, "A3 saving must erode");
+        // At the paper's costs batching pays well for the 1 kHz app…
+        let paper = sweep
+            .points
+            .iter()
+            .find(|p| p.factor == 1.0)
+            .expect("factor 1");
+        assert!(paper.a2_saving > 0.4, "{:.3}", paper.a2_saving);
+        // …and even a ~0.4 s transition only erodes it by single digits —
+        // batching is robust as long as the transition fits the window.
+        assert!(
+            paper.a2_saving - last.a2_saving > 0.04,
+            "{:.3}",
+            last.a2_saving
+        );
+        assert!(
+            paper.a3_saving - last.a3_saving > 0.08,
+            "{:.3}",
+            last.a3_saving
+        );
+    }
+
+    #[test]
+    fn scaled_calibration_stays_valid() {
+        for f in FACTORS {
+            scaled_calibration(f).validate().expect("consistent");
+        }
+    }
+}

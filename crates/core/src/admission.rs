@@ -1,0 +1,238 @@
+//! MCU admission control: which apps are offloadable.
+//!
+//! §III-B and §IV-E3: an app is **light-weight** (COM-eligible) when its
+//! whole working set fits the MCU's RAM, its sustained MIPS fit the MCU's
+//! throughput, and every sensor it touches is MCU-friendly. The paper's
+//! A1–A10 pass; A11 (speech-to-text: 4683 MIPS, 1.43 GB) fails.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::calibration::Calibration;
+use crate::workload::Workload;
+
+/// Why an app cannot be offloaded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OffloadBlocker {
+    /// Working set exceeds MCU RAM.
+    Memory {
+        /// Bytes the app needs.
+        needs: usize,
+        /// Bytes the MCU has.
+        budget: usize,
+    },
+    /// Sustained MIPS exceed MCU throughput.
+    Compute {
+        /// MIPS the app needs.
+        needs: f64,
+        /// MIPS the MCU sustains.
+        budget: f64,
+    },
+    /// A sensor's driver cannot run on the MCU.
+    McuUnfriendlySensor {
+        /// The offending sensor.
+        sensor: iotse_sensors::spec::SensorId,
+    },
+}
+
+impl fmt::Display for OffloadBlocker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadBlocker::Memory { needs, budget } => {
+                write!(f, "needs {needs} B of MCU RAM, budget is {budget} B")
+            }
+            OffloadBlocker::Compute { needs, budget } => {
+                write!(f, "needs {needs} MIPS, MCU sustains {budget}")
+            }
+            OffloadBlocker::McuUnfriendlySensor { sensor } => {
+                write!(f, "sensor {sensor} is MCU-unfriendly")
+            }
+        }
+    }
+}
+
+/// The classification of one app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WeightClass {
+    /// Offloadable to the MCU (the paper's "light-weight").
+    Light,
+    /// Must stay on the CPU (the paper's "heavy-weight"), with the reasons.
+    Heavy(Vec<OffloadBlocker>),
+}
+
+impl WeightClass {
+    /// `true` for [`WeightClass::Light`].
+    #[must_use]
+    pub fn is_light(&self) -> bool {
+        matches!(self, WeightClass::Light)
+    }
+}
+
+/// Classifies `workload` against the MCU budget in `cal`.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_core::admission::classify;
+/// use iotse_core::calibration::Calibration;
+/// # use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};
+/// # use iotse_sensors::spec::SensorId;
+/// # use iotse_sim::time::SimDuration;
+/// # struct Tiny;
+/// # impl Workload for Tiny {
+/// #     fn id(&self) -> AppId { AppId::A2 }
+/// #     fn name(&self) -> &'static str { "tiny" }
+/// #     fn window(&self) -> SimDuration { SimDuration::from_secs(1) }
+/// #     fn sensors(&self) -> Vec<SensorUsage> { vec![SensorUsage::periodic(SensorId::S4, 10)] }
+/// #     fn resources(&self) -> ResourceProfile {
+/// #         ResourceProfile { heap_bytes: 1000, stack_bytes: 100, mips: 1.0,
+/// #             cpu_compute: SimDuration::from_micros(10), mcu_compute: SimDuration::from_micros(100) }
+/// #     }
+/// #     fn compute(&mut self, _d: &WindowData) -> AppOutput { AppOutput::Steps(0) }
+/// # }
+/// let class = classify(&Tiny, &Calibration::paper());
+/// assert!(class.is_light());
+/// ```
+#[must_use]
+pub fn classify(workload: &dyn Workload, cal: &Calibration) -> WeightClass {
+    let mut blockers = Vec::new();
+    let r = workload.resources();
+    if r.memory_bytes() > cal.mcu_memory_bytes {
+        blockers.push(OffloadBlocker::Memory {
+            needs: r.memory_bytes(),
+            budget: cal.mcu_memory_bytes,
+        });
+    }
+    if r.mips > cal.mcu_mips_capacity {
+        blockers.push(OffloadBlocker::Compute {
+            needs: r.mips,
+            budget: cal.mcu_mips_capacity,
+        });
+    }
+    for usage in workload.sensors() {
+        if !iotse_sensors::catalog::spec(usage.sensor).mcu_friendly {
+            blockers.push(OffloadBlocker::McuUnfriendlySensor {
+                sensor: usage.sensor,
+            });
+        }
+    }
+    if blockers.is_empty() {
+        WeightClass::Light
+    } else {
+        WeightClass::Heavy(blockers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData};
+    use iotse_sensors::spec::SensorId;
+    use iotse_sim::time::SimDuration;
+
+    struct Fake {
+        heap: usize,
+        mips: f64,
+        sensor: SensorId,
+    }
+
+    impl Workload for Fake {
+        fn id(&self) -> AppId {
+            AppId::A11
+        }
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn window(&self) -> SimDuration {
+            SimDuration::from_secs(1)
+        }
+        fn sensors(&self) -> Vec<SensorUsage> {
+            vec![SensorUsage::periodic(self.sensor, 100)]
+        }
+        fn resources(&self) -> ResourceProfile {
+            ResourceProfile {
+                heap_bytes: self.heap,
+                stack_bytes: 400,
+                mips: self.mips,
+                cpu_compute: SimDuration::from_millis(1),
+                mcu_compute: SimDuration::from_millis(10),
+            }
+        }
+        fn compute(&mut self, _d: &WindowData) -> AppOutput {
+            AppOutput::Steps(0)
+        }
+    }
+
+    #[test]
+    fn small_app_is_light() {
+        let w = Fake {
+            heap: 20_000,
+            mips: 50.0,
+            sensor: SensorId::S4,
+        };
+        assert!(classify(&w, &Calibration::paper()).is_light());
+    }
+
+    #[test]
+    fn memory_blocks_offload() {
+        let w = Fake {
+            heap: 1_430_000_000,
+            mips: 50.0,
+            sensor: SensorId::S8,
+        };
+        match classify(&w, &Calibration::paper()) {
+            WeightClass::Heavy(blockers) => {
+                assert!(matches!(blockers[0], OffloadBlocker::Memory { .. }));
+                assert!(blockers[0].to_string().contains("MCU RAM"));
+            }
+            WeightClass::Light => panic!("1.43 GB app must be heavy"),
+        }
+    }
+
+    #[test]
+    fn mips_blocks_offload() {
+        let w = Fake {
+            heap: 10_000,
+            mips: 4_683.0,
+            sensor: SensorId::S8,
+        };
+        match classify(&w, &Calibration::paper()) {
+            WeightClass::Heavy(blockers) => {
+                assert!(matches!(blockers[0], OffloadBlocker::Compute { .. }));
+            }
+            WeightClass::Light => panic!("4683 MIPS app must be heavy"),
+        }
+    }
+
+    #[test]
+    fn unfriendly_sensor_blocks_offload() {
+        let w = Fake {
+            heap: 10_000,
+            mips: 10.0,
+            sensor: SensorId::S10Hi,
+        };
+        match classify(&w, &Calibration::paper()) {
+            WeightClass::Heavy(blockers) => {
+                assert!(matches!(
+                    blockers[0],
+                    OffloadBlocker::McuUnfriendlySensor { .. }
+                ));
+            }
+            WeightClass::Light => panic!("high-res image app must be heavy"),
+        }
+    }
+
+    #[test]
+    fn multiple_blockers_accumulate() {
+        let w = Fake {
+            heap: 1_000_000_000,
+            mips: 5_000.0,
+            sensor: SensorId::S10Hi,
+        };
+        match classify(&w, &Calibration::paper()) {
+            WeightClass::Heavy(blockers) => assert_eq!(blockers.len(), 3),
+            WeightClass::Light => panic!("must be heavy"),
+        }
+    }
+}

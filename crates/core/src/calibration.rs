@@ -1,0 +1,246 @@
+//! Platform calibration constants.
+//!
+//! Every number here is taken from the paper (section references inline) or
+//! fitted to one of its figures; DESIGN.md's *Calibration* table is the
+//! authoritative cross-reference. Keeping them in one struct makes the
+//! sensitivity benches trivial: perturb a copy, re-run, compare.
+
+use iotse_energy::units::Power;
+use iotse_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// All tunable constants of the hub model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    // ---- CPU (Raspberry Pi 3B Main board), §III-A ----
+    /// CPU active-mode power: 5 W.
+    pub cpu_active: Power,
+    /// CPU sleep-mode power: 1.5 W ("3.3× less than active").
+    pub cpu_sleep: Power,
+    /// CPU deep-sleep power (idle hub, Figure 1's ≈ 9.5× gap).
+    pub cpu_deep_sleep: Power,
+    /// Sleep↔active transition time: 1.6 ms.
+    pub cpu_transition_time: SimDuration,
+    /// Power during the transition: 2.5 W (⇒ 4 mJ per transition).
+    pub cpu_transition_power: Power,
+    /// Extra transition time for entering/leaving deep sleep.
+    pub cpu_deep_transition_time: SimDuration,
+
+    // ---- MCU (ESP8266 board) ----
+    /// MCU active power. Fitted so the Figure 4 transfer-energy split comes
+    /// out 77% CPU / 13% MCU: 5 W × 13/77.
+    pub mcu_active: Power,
+    /// MCU power while awake but waiting between reads (modem idle).
+    pub mcu_idle: Power,
+    /// MCU modem/light-sleep power.
+    pub mcu_sleep: Power,
+    /// Minimum gap for the MCU to light-sleep instead of idling.
+    pub mcu_sleep_break_even: SimDuration,
+    /// MCU user-data RAM budget: 80 KB (§IV-A).
+    pub mcu_memory_bytes: usize,
+    /// MIPS the MCU can sustain; the admission bound for COM. A8's
+    /// 108.8 MIPS must fit (it is offloadable in the paper), A11's 4683
+    /// must not.
+    pub mcu_mips_capacity: f64,
+    /// MCU time to raise one interrupt line toward the I/O controller.
+    pub mcu_interrupt_raise: SimDuration,
+    /// MCU busy time per sensor read (issue command, poll ready, fetch,
+    /// format — Tasks I–III of §II-B). 0.1 ms, from Figure 8's 100 ms
+    /// data-collection bar for 1000 samples. The sensor's own acquisition
+    /// latency (Table I read time) runs concurrently on the sensor.
+    pub mcu_read_overhead: SimDuration,
+
+    // ---- Interconnect (PIO/UART through the I/O controller) ----
+    /// Physical-wire power while a transfer is in flight. Fitted to
+    /// Figure 4's 10% "physical" share: 5 W × 10/77.
+    pub link_active: Power,
+    /// Fixed software overhead per transfer transaction (fitted from
+    /// Figure 8: 0.192 ms per 12 B sample and 100 ms per 12 kB bulk ⇒
+    /// 92 µs fixed + 8.32 µs/B).
+    pub transfer_fixed: SimDuration,
+    /// Per-byte transfer cost (see [`Calibration::transfer_fixed`]).
+    pub transfer_per_byte: SimDuration,
+
+    // ---- CPU-side software costs ----
+    /// CPU time to handle one MCU interrupt: 48 µs (Figure 8: 48 ms for
+    /// 1000 interrupts).
+    pub cpu_interrupt_handling: SimDuration,
+
+    // ---- Future-work hardware (§IV-F) ----
+    /// Whether the interconnect has DMA: transfers then occupy only the
+    /// wire while each processor pays a short setup, instead of both being
+    /// held for the whole transfer. `false` on the paper's platform —
+    /// §IV-F names this as future work, and [`Calibration::with_dma`]
+    /// enables it for the ablation experiments.
+    pub dma_enabled: bool,
+    /// Per-transfer descriptor-setup time on each processor when DMA is
+    /// enabled.
+    pub dma_setup: SimDuration,
+
+    // ---- Policy thresholds ----
+    /// Minimum expected idle gap for entering (light) sleep. The paper's
+    /// §III-A break-even: 4 mJ / (5 W − 1.5 W) = 1.14 ms.
+    pub sleep_break_even: SimDuration,
+    /// Minimum expected idle gap for entering deep sleep.
+    pub deep_sleep_break_even: SimDuration,
+}
+
+impl Calibration {
+    /// The paper's platform: Raspberry Pi 3B + ESP8266.
+    #[must_use]
+    pub fn paper() -> Self {
+        Calibration {
+            cpu_active: Power::from_watts(5.0),
+            cpu_sleep: Power::from_watts(1.5),
+            cpu_deep_sleep: Power::from_watts(0.56),
+            cpu_transition_time: SimDuration::from_micros(1_600),
+            cpu_transition_power: Power::from_watts(2.5),
+            cpu_deep_transition_time: SimDuration::from_micros(5_000),
+            mcu_active: Power::from_watts(5.0 * 13.0 / 77.0),
+            mcu_idle: Power::from_milliwatts(100.0),
+            mcu_sleep: Power::from_milliwatts(20.0),
+            mcu_sleep_break_even: SimDuration::from_millis(5),
+            mcu_memory_bytes: 80 * 1024,
+            mcu_mips_capacity: 150.0,
+            mcu_interrupt_raise: SimDuration::from_micros(10),
+            mcu_read_overhead: SimDuration::from_micros(100),
+            link_active: Power::from_watts(5.0 * 10.0 / 77.0),
+            transfer_fixed: SimDuration::from_micros(92),
+            transfer_per_byte: SimDuration::from_nanos(8_320),
+            dma_enabled: false,
+            dma_setup: SimDuration::from_micros(15),
+            cpu_interrupt_handling: SimDuration::from_micros(48),
+            sleep_break_even: SimDuration::from_micros(1_143),
+            deep_sleep_break_even: SimDuration::from_millis(40),
+        }
+    }
+
+    /// The paper's platform with the §IV-F future-work DMA engine added.
+    #[must_use]
+    pub fn with_dma(mut self) -> Self {
+        self.dma_enabled = true;
+        self
+    }
+
+    /// Duration of one transfer transaction of `bytes` payload bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iotse_core::calibration::Calibration;
+    ///
+    /// let cal = Calibration::paper();
+    /// // One 12-byte accelerometer sample: ≈ 0.192 ms (Figure 8).
+    /// let per_sample = cal.transfer_time(12);
+    /// assert!((per_sample.as_secs_f64() * 1e3 - 0.192).abs() < 0.001);
+    /// // A 12 kB bulk batch: ≈ 100 ms (§III-A).
+    /// let bulk = cal.transfer_time(12_000);
+    /// assert!((bulk.as_secs_f64() * 1e3 - 100.0).abs() < 1.0);
+    /// ```
+    #[must_use]
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        self.transfer_fixed + self.transfer_per_byte * bytes as u64
+    }
+
+    /// Energy overhead of one light sleep↔active round trip (the paper's
+    /// 4 mJ).
+    #[must_use]
+    pub fn transition_energy(&self) -> iotse_energy::units::Energy {
+        self.cpu_transition_power * self.cpu_transition_time
+    }
+
+    /// Validates mutual consistency of the constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpu_deep_sleep > self.cpu_sleep || self.cpu_sleep > self.cpu_active {
+            return Err("CPU power ordering must be deep ≤ sleep ≤ active".into());
+        }
+        if self.mcu_sleep > self.mcu_idle || self.mcu_idle > self.mcu_active {
+            return Err("MCU power ordering must be sleep ≤ idle ≤ active".into());
+        }
+        if self.mcu_memory_bytes == 0 {
+            return Err("MCU memory budget must be positive".into());
+        }
+        let implied =
+            self.transition_energy().as_joules() / (self.cpu_active - self.cpu_sleep).as_watts();
+        let configured = self.sleep_break_even.as_secs_f64();
+        if (implied - configured).abs() > configured * 0.05 {
+            return Err(format!(
+                "sleep break-even {configured}s inconsistent with transition energy (implied {implied}s)"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_consistent() {
+        Calibration::paper()
+            .validate()
+            .expect("paper calibration is valid");
+    }
+
+    #[test]
+    fn transition_energy_is_four_millijoules() {
+        let e = Calibration::paper().transition_energy();
+        assert!((e.as_millijoules() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure4_split_ratios() {
+        let cal = Calibration::paper();
+        let total = cal.cpu_active + cal.mcu_active + cal.link_active;
+        let cpu_share = cal.cpu_active.as_watts() / total.as_watts();
+        let mcu_share = cal.mcu_active.as_watts() / total.as_watts();
+        let link_share = cal.link_active.as_watts() / total.as_watts();
+        assert!((cpu_share - 0.77).abs() < 0.01, "cpu share {cpu_share}");
+        assert!((mcu_share - 0.13).abs() < 0.01, "mcu share {mcu_share}");
+        assert!((link_share - 0.10).abs() < 0.01, "link share {link_share}");
+    }
+
+    #[test]
+    fn transfer_fit_matches_both_figure8_points() {
+        let cal = Calibration::paper();
+        let per_sample_ms = cal.transfer_time(12).as_secs_f64() * 1e3;
+        let bulk_ms = cal.transfer_time(12 * 1000).as_secs_f64() * 1e3;
+        assert!((per_sample_ms - 0.192).abs() < 0.002, "{per_sample_ms}");
+        assert!((bulk_ms - 100.0).abs() < 0.5, "{bulk_ms}");
+    }
+
+    #[test]
+    fn sleep_saves_only_past_break_even() {
+        let cal = Calibration::paper();
+        let gap = cal.sleep_break_even;
+        // At the break-even gap, sleeping ≈ staying active.
+        let stay = cal.cpu_active * gap;
+        let sleep = cal.transition_energy() + cal.cpu_sleep * gap;
+        assert!((stay.as_millijoules() - sleep.as_millijoules()).abs() < 0.05);
+    }
+
+    #[test]
+    fn validation_rejects_inverted_powers() {
+        let mut cal = Calibration::paper();
+        cal.cpu_sleep = Power::from_watts(6.0);
+        assert!(cal.validate().is_err());
+    }
+
+    #[test]
+    fn a8_fits_mcu_but_a11_does_not() {
+        let cal = Calibration::paper();
+        assert!(108.8 < cal.mcu_mips_capacity);
+        assert!(4_683.0 > cal.mcu_mips_capacity);
+    }
+}

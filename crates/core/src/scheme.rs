@@ -1,0 +1,109 @@
+//! The five execution schemes the paper evaluates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How sensor data flows from the MCU to the computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scheme {
+    /// One interrupt + one transfer per sensor sample; compute on the CPU.
+    /// The commodity-platform default the paper measures first.
+    Baseline,
+    /// The MCU buffers a whole window of samples and raises **one**
+    /// interrupt + one bulk transfer; compute on the CPU (§III-A).
+    Batching,
+    /// Computation Offloading to MCU: samples never leave the MCU board;
+    /// the kernel runs there and only the result crosses (§III-B).
+    Com,
+    /// The ATC'16 comparator: per-sample flow like Baseline, but sensors
+    /// shared by concurrent apps are read/interrupted/transferred once.
+    Beam,
+    /// Batching + COM: light-weight apps are offloaded, heavy-weight apps
+    /// are batched (§IV-E3).
+    Bcom,
+}
+
+impl Scheme {
+    /// The three single-app schemes of Figure 10.
+    pub const SINGLE_APP: [Scheme; 3] = [Scheme::Baseline, Scheme::Batching, Scheme::Com];
+
+    /// The schemes compared in the multi-app Figure 11.
+    pub const MULTI_APP: [Scheme; 3] = [Scheme::Baseline, Scheme::Beam, Scheme::Bcom];
+
+    /// All five schemes.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Baseline,
+        Scheme::Batching,
+        Scheme::Com,
+        Scheme::Beam,
+        Scheme::Bcom,
+    ];
+
+    /// `true` if this scheme may place app computation on the MCU.
+    #[must_use]
+    pub fn offloads(self) -> bool {
+        matches!(self, Scheme::Com | Scheme::Bcom)
+    }
+
+    /// `true` if this scheme batches samples at the MCU for non-offloaded
+    /// apps.
+    #[must_use]
+    pub fn batches(self) -> bool {
+        matches!(self, Scheme::Batching | Scheme::Bcom)
+    }
+
+    /// `true` if shared sensors are deduplicated across apps.
+    #[must_use]
+    pub fn shares_sensors(self) -> bool {
+        self == Scheme::Beam
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::Batching => "Batching",
+            Scheme::Com => "COM",
+            Scheme::Beam => "BEAM",
+            Scheme::Bcom => "BCOM",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_flags() {
+        assert!(!Scheme::Baseline.offloads() && !Scheme::Baseline.batches());
+        assert!(Scheme::Batching.batches() && !Scheme::Batching.offloads());
+        assert!(Scheme::Com.offloads() && !Scheme::Com.batches());
+        assert!(Scheme::Bcom.offloads() && Scheme::Bcom.batches());
+        assert!(Scheme::Beam.shares_sensors());
+        assert!(!Scheme::Bcom.shares_sensors());
+    }
+
+    #[test]
+    fn figure_groupings() {
+        assert_eq!(
+            Scheme::SINGLE_APP,
+            [Scheme::Baseline, Scheme::Batching, Scheme::Com]
+        );
+        assert_eq!(
+            Scheme::MULTI_APP,
+            [Scheme::Baseline, Scheme::Beam, Scheme::Bcom]
+        );
+        assert_eq!(Scheme::ALL.len(), 5);
+    }
+
+    #[test]
+    fn display_names_match_figures() {
+        assert_eq!(Scheme::Com.to_string(), "COM");
+        assert_eq!(Scheme::Beam.to_string(), "BEAM");
+        assert_eq!(Scheme::Bcom.to_string(), "BCOM");
+    }
+}

@@ -1,0 +1,305 @@
+//! The virtual power monitor.
+//!
+//! Stands in for the Monsoon High-Voltage Power Monitor the paper wired to
+//! the hub's supply (§III-B). The real instrument *samples* at 100 ns; the
+//! virtual one records the exact piecewise-constant power waveform as change
+//! points, so energy integrals carry no sampling error, and can still emit a
+//! fixed-rate sample stream (for CSV export / plotting) when asked.
+
+use iotse_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Energy, Power};
+
+/// An exact piecewise-constant power waveform.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_energy::monitor::PowerTrace;
+/// use iotse_energy::units::Power;
+/// use iotse_sim::time::SimTime;
+///
+/// let mut trace = PowerTrace::new(SimTime::ZERO, Power::from_watts(0.5));
+/// trace.set(SimTime::from_millis(100), Power::from_watts(5.0));
+/// trace.finish(SimTime::from_millis(200));
+/// // 0.5 W × 100 ms + 5 W × 100 ms = 550 mJ
+/// assert!((trace.energy().as_millijoules() - 550.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    /// `(instant, power-from-that-instant)` change points, strictly
+    /// increasing in time.
+    points: Vec<(SimTime, Power)>,
+    end: Option<SimTime>,
+}
+
+impl PowerTrace {
+    /// Starts a trace at `start` drawing `initial`.
+    #[must_use]
+    pub fn new(start: SimTime, initial: Power) -> Self {
+        PowerTrace {
+            points: vec![(start, initial)],
+            end: None,
+        }
+    }
+
+    /// Records that total power changed to `power` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last change point or the trace is
+    /// finished.
+    pub fn set(&mut self, now: SimTime, power: Power) {
+        assert!(self.end.is_none(), "trace already finished");
+        let (last_t, last_p) = *self.points.last().expect("trace has a start point");
+        assert!(now >= last_t, "power trace must move forward in time");
+        if power == last_p {
+            return;
+        }
+        if now == last_t {
+            // Same-instant update: replace rather than store a zero-width step.
+            self.points.last_mut().expect("non-empty").1 = power;
+            // Collapse if this made it equal to its predecessor.
+            let n = self.points.len();
+            if n >= 2 && self.points[n - 2].1 == power {
+                self.points.pop();
+            }
+        } else {
+            self.points.push((now, power));
+        }
+    }
+
+    /// Adds `delta` to the current power level at `now` (convenience for
+    /// per-device contributions).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PowerTrace::set`].
+    pub fn adjust(&mut self, now: SimTime, delta: Power) {
+        let current = self.points.last().expect("trace has a start point").1;
+        self.set(now, current + delta);
+    }
+
+    /// Closes the trace at `end`; further [`PowerTrace::set`] calls panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last change point or the trace is
+    /// already finished.
+    pub fn finish(&mut self, end: SimTime) {
+        assert!(self.end.is_none(), "trace already finished");
+        let last_t = self.points.last().expect("trace has a start point").0;
+        assert!(end >= last_t, "end precedes last change point");
+        self.end = Some(end);
+    }
+
+    /// `true` once [`PowerTrace::finish`] has been called.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.end.is_some()
+    }
+
+    /// The first instant of the trace.
+    #[must_use]
+    pub fn start(&self) -> SimTime {
+        self.points[0].0
+    }
+
+    /// The closing instant, if finished.
+    #[must_use]
+    pub fn end(&self) -> Option<SimTime> {
+        self.end
+    }
+
+    /// The change points recorded so far.
+    #[must_use]
+    pub fn points(&self) -> &[(SimTime, Power)] {
+        &self.points
+    }
+
+    /// The power drawn at instant `t` (change points are left-inclusive).
+    /// Returns zero outside the trace.
+    #[must_use]
+    pub fn power_at(&self, t: SimTime) -> Power {
+        if t < self.start() {
+            return Power::ZERO;
+        }
+        if let Some(end) = self.end {
+            if t >= end {
+                return Power::ZERO;
+            }
+        }
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => Power::ZERO,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The exact energy integral of the (finished) trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished.
+    #[must_use]
+    pub fn energy(&self) -> Energy {
+        let end = self.end.expect("finish() the trace before integrating");
+        self.energy_between(self.start(), end)
+    }
+
+    /// The exact energy integral over `[from, to)`, clipped to the trace.
+    #[must_use]
+    pub fn energy_between(&self, from: SimTime, to: SimTime) -> Energy {
+        let mut total = Energy::ZERO;
+        let trace_end = self.end.unwrap_or(SimTime::MAX);
+        let to = to.min(trace_end);
+        if to <= from {
+            return Energy::ZERO;
+        }
+        for (i, &(t0, p)) in self.points.iter().enumerate() {
+            let t1 = self.points.get(i + 1).map_or(trace_end, |&(t, _)| t);
+            let seg_start = t0.max(from);
+            let seg_end = t1.min(to);
+            if seg_end > seg_start {
+                total += p * (seg_end - seg_start);
+            }
+        }
+        total
+    }
+
+    /// The time-weighted average power of the finished trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished or has zero length.
+    #[must_use]
+    pub fn average_power(&self) -> Power {
+        let end = self.end.expect("finish() the trace before averaging");
+        self.energy().over(end - self.start())
+    }
+
+    /// Samples the trace every `interval`, returning `(t, power)` rows —
+    /// what the Monsoon would have logged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished or `interval` is zero.
+    #[must_use]
+    pub fn sample(&self, interval: SimDuration) -> Vec<(SimTime, Power)> {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        let end = self.end.expect("finish() the trace before sampling");
+        let mut rows = Vec::new();
+        let mut t = self.start();
+        while t < end {
+            rows.push((t, self.power_at(t)));
+            t = t.saturating_add(interval);
+        }
+        rows
+    }
+
+    /// Renders the sampled trace as a `time_ms,power_mw` CSV string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not finished or `interval` is zero.
+    #[must_use]
+    pub fn to_csv(&self, interval: SimDuration) -> String {
+        let mut out = String::from("time_ms,power_mw\n");
+        for (t, p) in self.sample(interval) {
+            out.push_str(&format!(
+                "{:.3},{:.3}\n",
+                t.as_millis_f64(),
+                p.as_milliwatts()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_is_exact() {
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::from_watts(1.0));
+        tr.set(SimTime::from_millis(3), Power::from_watts(2.0));
+        tr.set(SimTime::from_millis(5), Power::from_watts(0.0));
+        tr.finish(SimTime::from_millis(10));
+        // 1 W × 3 ms + 2 W × 2 ms + 0 × 5 ms = 7 mJ
+        assert!((tr.energy().as_millijoules() - 7.0).abs() < 1e-12);
+        assert!((tr.average_power().as_milliwatts() - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_between_clips() {
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::from_watts(1.0));
+        tr.finish(SimTime::from_millis(10));
+        let e = tr.energy_between(SimTime::from_millis(2), SimTime::from_millis(50));
+        assert!((e.as_millijoules() - 8.0).abs() < 1e-12);
+        assert!(tr
+            .energy_between(SimTime::from_millis(5), SimTime::from_millis(5))
+            .is_zero());
+    }
+
+    #[test]
+    fn power_at_respects_boundaries() {
+        let mut tr = PowerTrace::new(SimTime::from_millis(1), Power::from_watts(3.0));
+        tr.set(SimTime::from_millis(4), Power::from_watts(1.0));
+        tr.finish(SimTime::from_millis(6));
+        assert_eq!(tr.power_at(SimTime::ZERO), Power::ZERO);
+        assert_eq!(tr.power_at(SimTime::from_millis(1)), Power::from_watts(3.0));
+        assert_eq!(tr.power_at(SimTime::from_millis(3)), Power::from_watts(3.0));
+        assert_eq!(tr.power_at(SimTime::from_millis(4)), Power::from_watts(1.0));
+        assert_eq!(tr.power_at(SimTime::from_millis(6)), Power::ZERO);
+    }
+
+    #[test]
+    fn duplicate_levels_are_collapsed() {
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::from_watts(1.0));
+        tr.set(SimTime::from_millis(1), Power::from_watts(1.0)); // no-op
+        assert_eq!(tr.points().len(), 1);
+        tr.set(SimTime::from_millis(2), Power::from_watts(2.0));
+        tr.set(SimTime::from_millis(2), Power::from_watts(1.0)); // same-instant revert
+        assert_eq!(tr.points().len(), 1);
+    }
+
+    #[test]
+    fn adjust_adds_delta() {
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::from_watts(1.0));
+        tr.adjust(SimTime::from_millis(1), Power::from_watts(0.5));
+        tr.adjust(SimTime::from_millis(2), -Power::from_watts(0.5));
+        tr.finish(SimTime::from_millis(3));
+        assert_eq!(tr.power_at(SimTime::from_millis(1)), Power::from_watts(1.5));
+        assert_eq!(tr.power_at(SimTime::from_millis(2)), Power::from_watts(1.0));
+    }
+
+    #[test]
+    fn sampling_produces_monsoon_style_rows() {
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::from_watts(1.0));
+        tr.set(SimTime::from_millis(5), Power::from_watts(2.0));
+        tr.finish(SimTime::from_millis(10));
+        let rows = tr.sample(SimDuration::from_millis(2));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], (SimTime::ZERO, Power::from_watts(1.0)));
+        assert_eq!(rows[3], (SimTime::from_millis(6), Power::from_watts(2.0)));
+        let csv = tr.to_csv(SimDuration::from_millis(5));
+        assert_eq!(csv, "time_ms,power_mw\n0.000,1000.000\n5.000,2000.000\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn set_after_finish_panics() {
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::ZERO);
+        tr.finish(SimTime::from_millis(1));
+        tr.set(SimTime::from_millis(2), Power::from_watts(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward in time")]
+    fn set_backwards_panics() {
+        let mut tr = PowerTrace::new(SimTime::from_millis(5), Power::ZERO);
+        tr.set(SimTime::from_millis(1), Power::from_watts(1.0));
+    }
+}

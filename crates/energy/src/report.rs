@@ -1,0 +1,233 @@
+//! Textual rendering of energy results.
+//!
+//! The paper presents its results as normalized stacked bar charts; the
+//! `figures` harness renders the same data as ASCII so every figure can be
+//! regenerated in a terminal and diffed in CI.
+
+use std::fmt::Write as _;
+
+use crate::attribution::{Breakdown, NormalizedBreakdown};
+use crate::units::Energy;
+
+/// The glyphs used to draw the four routine segments of a stacked bar, in
+/// figure stacking order: data collection, interrupt, data transfer,
+/// app-specific compute.
+pub const SEGMENT_GLYPHS: [char; 4] = ['c', 'i', 't', 'x'];
+
+/// Human labels matching [`SEGMENT_GLYPHS`].
+pub const SEGMENT_LABELS: [&str; 4] = [
+    "Data Collection",
+    "Interrupt",
+    "Data Transfer",
+    "App-specific Computing",
+];
+
+/// Renders one normalized breakdown as a stacked ASCII bar of `width`
+/// characters per 100%.
+///
+/// Fractions above 1.0 extend beyond `width` (bars are normalized to a
+/// baseline, so only the baseline itself is exactly full-width).
+///
+/// # Examples
+///
+/// ```
+/// use iotse_energy::attribution::NormalizedBreakdown;
+/// use iotse_energy::report::stacked_bar;
+///
+/// let n = NormalizedBreakdown {
+///     data_collection: 0.25,
+///     interrupt: 0.25,
+///     data_transfer: 0.25,
+///     app_compute: 0.25,
+/// };
+/// assert_eq!(stacked_bar(&n, 8), "cciittxx");
+/// ```
+#[must_use]
+pub fn stacked_bar(n: &NormalizedBreakdown, width: usize) -> String {
+    let fracs = [
+        n.data_collection,
+        n.interrupt,
+        n.data_transfer,
+        n.app_compute,
+    ];
+    let mut bar = String::new();
+    let mut acc = 0.0f64;
+    let mut drawn = 0usize;
+    for (frac, glyph) in fracs.iter().zip(SEGMENT_GLYPHS) {
+        acc += frac.max(0.0);
+        let target = (acc * width as f64).round() as usize;
+        for _ in drawn..target {
+            bar.push(glyph);
+        }
+        drawn = drawn.max(target);
+    }
+    bar
+}
+
+/// One labeled row of a breakdown chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Row label, e.g. `"A2 / Batching"`.
+    pub label: String,
+    /// The absolute energies.
+    pub breakdown: Breakdown,
+}
+
+/// Renders rows of breakdowns normalized to `reference` as an ASCII chart
+/// with a legend and per-row totals — one paper figure.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn breakdown_chart(
+    title: &str,
+    rows: &[BreakdownRow],
+    reference: Energy,
+    width: usize,
+) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(8);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  legend: {} (normalized to {reference})",
+        SEGMENT_GLYPHS
+            .iter()
+            .zip(SEGMENT_LABELS)
+            .map(|(g, l)| format!("{g}={l}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for row in rows {
+        let n = row.breakdown.normalized_to(reference);
+        let bar = stacked_bar(&n, width);
+        let _ = writeln!(
+            out,
+            "  {:<label_w$} |{bar:<width$}| {:6.1}% ({})",
+            row.label,
+            n.total() * 100.0,
+            row.breakdown.total(),
+        );
+    }
+    out
+}
+
+/// Renders a simple labeled horizontal bar chart of arbitrary values
+/// normalized to the maximum (used for Figure 6's MIPS/memory and Figure 13's
+/// speedups).
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn value_chart(title: &str, rows: &[(String, f64)], unit: &str, width: usize) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(8);
+    let max = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$} |{:<width$}| {v:8.2} {unit}",
+            "#".repeat(n)
+        );
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `"52.0%"`.
+#[must_use]
+pub fn percent(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Energy;
+
+    fn mj(x: f64) -> Energy {
+        Energy::from_millijoules(x)
+    }
+
+    #[test]
+    fn stacked_bar_fills_proportionally() {
+        let n = NormalizedBreakdown {
+            data_collection: 0.06,
+            interrupt: 0.16,
+            data_transfer: 0.77,
+            app_compute: 0.01,
+        };
+        let bar = stacked_bar(&n, 100);
+        assert_eq!(bar.len(), 100);
+        assert_eq!(bar.chars().filter(|&c| c == 'c').count(), 6);
+        assert_eq!(bar.chars().filter(|&c| c == 'i').count(), 16);
+        assert_eq!(bar.chars().filter(|&c| c == 't').count(), 77);
+        assert_eq!(bar.chars().filter(|&c| c == 'x').count(), 1);
+    }
+
+    #[test]
+    fn stacked_bar_shrinks_for_savings() {
+        let n = NormalizedBreakdown {
+            data_collection: 0.1,
+            interrupt: 0.0,
+            data_transfer: 0.3,
+            app_compute: 0.08,
+        };
+        let bar = stacked_bar(&n, 50);
+        assert_eq!(bar.len(), 24); // 48% of 50
+    }
+
+    #[test]
+    fn breakdown_chart_contains_rows_and_totals() {
+        let rows = vec![
+            BreakdownRow {
+                label: "Baseline".into(),
+                breakdown: Breakdown {
+                    data_collection: mj(6.0),
+                    interrupt: mj(16.0),
+                    data_transfer: mj(77.0),
+                    app_compute: mj(1.0),
+                },
+            },
+            BreakdownRow {
+                label: "Batching".into(),
+                breakdown: Breakdown {
+                    data_collection: mj(6.0),
+                    interrupt: mj(3.0),
+                    data_transfer: mj(27.0),
+                    app_compute: mj(1.0),
+                },
+            },
+        ];
+        let chart = breakdown_chart("Fig 7", &rows, mj(100.0), 40);
+        assert!(chart.contains("Fig 7"));
+        assert!(chart.contains("Baseline"));
+        assert!(chart.contains(" 100.0%"));
+        assert!(chart.contains("  37.0%"));
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn value_chart_normalizes_to_max() {
+        let rows = vec![("A2".to_string(), 3.94), ("A8".to_string(), 108.8)];
+        let chart = value_chart("MIPS", &rows, "MIPS", 20);
+        assert!(chart.contains("108.80"));
+        // A8 row gets the full 20 hashes.
+        assert!(chart.contains(&"#".repeat(20)));
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.52), "52.0%");
+        assert_eq!(percent(1.0), "100.0%");
+    }
+}

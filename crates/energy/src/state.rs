@@ -1,0 +1,291 @@
+//! Device power-state machines.
+//!
+//! A [`StateTracker`] follows one device through its power states, exactly
+//! integrating `power × time` per interval and optionally recording the
+//! state timeline (the paper's Figure 5). The tracker is policy-free: *what*
+//! states exist and *when* to switch is the platform model's job
+//! (`iotse-core`); this type guarantees the accounting is exact and that
+//! time only moves forward.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use iotse_sim::time::{SimDuration, SimTime};
+
+use crate::units::{Energy, Power};
+
+/// A power state of some device: a name and a draw.
+///
+/// Implemented by the CPU/MCU state enums in `iotse-core`.
+pub trait PowerState: Copy + Eq + fmt::Debug {
+    /// Steady-state power draw while in this state.
+    fn power(self) -> Power;
+    /// Short display name (used in timelines, e.g. `"active"`).
+    fn name(self) -> &'static str;
+}
+
+/// Follows one device through its power states with exact energy
+/// integration.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_energy::state::{PowerState, StateTracker};
+/// use iotse_energy::units::Power;
+/// use iotse_sim::time::SimTime;
+///
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// enum Cpu { Active, Sleep }
+/// impl PowerState for Cpu {
+///     fn power(self) -> Power {
+///         match self {
+///             Cpu::Active => Power::from_watts(5.0),
+///             Cpu::Sleep => Power::from_watts(1.5),
+///         }
+///     }
+///     fn name(self) -> &'static str {
+///         match self { Cpu::Active => "active", Cpu::Sleep => "sleep" }
+///     }
+/// }
+///
+/// let mut t = StateTracker::new(SimTime::ZERO, Cpu::Active);
+/// let spent = t.transition(SimTime::from_millis(10), Cpu::Sleep);
+/// assert_eq!(spent.as_millijoules(), 50.0); // 5 W × 10 ms
+/// assert_eq!(t.state(), Cpu::Sleep);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateTracker<S: PowerState> {
+    current: S,
+    since: SimTime,
+    last_accrual: SimTime,
+    total_energy: Energy,
+    time_in: BTreeMap<&'static str, SimDuration>,
+    transitions: u64,
+    timeline: Option<Vec<(SimTime, S)>>,
+}
+
+impl<S: PowerState> StateTracker<S> {
+    /// Starts tracking at `start` in `initial` state, without timeline
+    /// recording.
+    #[must_use]
+    pub fn new(start: SimTime, initial: S) -> Self {
+        StateTracker {
+            current: initial,
+            since: start,
+            last_accrual: start,
+            total_energy: Energy::ZERO,
+            time_in: BTreeMap::new(),
+            transitions: 0,
+            timeline: None,
+        }
+    }
+
+    /// Starts tracking with timeline recording enabled (needed for
+    /// Figure 5-style renderings).
+    #[must_use]
+    pub fn with_timeline(start: SimTime, initial: S) -> Self {
+        let mut t = Self::new(start, initial);
+        t.timeline = Some(vec![(start, initial)]);
+        t
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> S {
+        self.current
+    }
+
+    /// Instant of the last state change (or start).
+    #[must_use]
+    pub fn state_entered_at(&self) -> SimTime {
+        self.since
+    }
+
+    /// Number of state changes so far.
+    #[must_use]
+    pub fn transition_count(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Integrates energy in the current state up to `now` and returns the
+    /// energy accrued *by this call* (callers attribute it to a routine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous accrual.
+    pub fn accrue(&mut self, now: SimTime) -> Energy {
+        let held = now.duration_since(self.last_accrual);
+        self.last_accrual = now;
+        let e = self.current.power() * held;
+        self.total_energy += e;
+        *self
+            .time_in
+            .entry(self.current.name())
+            .or_insert(SimDuration::ZERO) += held;
+        e
+    }
+
+    /// Switches to `next` at `now`, first accruing energy for the interval
+    /// spent in the old state; returns that accrued energy.
+    ///
+    /// Transitioning to the *same* state is a no-op apart from the accrual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous accrual.
+    pub fn transition(&mut self, now: SimTime, next: S) -> Energy {
+        let e = self.accrue(now);
+        if next != self.current {
+            self.current = next;
+            self.since = now;
+            self.transitions += 1;
+            if let Some(tl) = &mut self.timeline {
+                tl.push((now, next));
+            }
+        }
+        e
+    }
+
+    /// Total energy integrated so far.
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.total_energy
+    }
+
+    /// Time spent in the state named `name` (accrued so far).
+    #[must_use]
+    pub fn time_in(&self, name: &str) -> SimDuration {
+        self.time_in.get(name).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total accrued time across all states.
+    #[must_use]
+    pub fn time_total(&self) -> SimDuration {
+        self.time_in.values().copied().sum()
+    }
+
+    /// Fraction of accrued time spent in state `name` (0 when nothing has
+    /// been accrued).
+    #[must_use]
+    pub fn fraction_in(&self, name: &str) -> f64 {
+        let total = self.time_total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.time_in(name).as_secs_f64() / total
+        }
+    }
+
+    /// The recorded timeline as `(start, state)` change points, if timeline
+    /// recording was enabled.
+    #[must_use]
+    pub fn timeline(&self) -> Option<&[(SimTime, S)]> {
+        self.timeline.as_deref()
+    }
+
+    /// Renders the timeline as `(start, end, name)` segments, closing the
+    /// final segment at `end`. Returns an empty vector when timeline
+    /// recording was disabled.
+    #[must_use]
+    pub fn segments(&self, end: SimTime) -> Vec<(SimTime, SimTime, &'static str)> {
+        let Some(tl) = &self.timeline else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(tl.len());
+        for w in tl.windows(2) {
+            out.push((w[0].0, w[1].0, w[0].1.name()));
+        }
+        if let Some(&(start, state)) = tl.last() {
+            if end > start {
+                out.push((start, end, state.name()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Test {
+        Hi,
+        Lo,
+    }
+
+    impl PowerState for Test {
+        fn power(self) -> Power {
+            match self {
+                Test::Hi => Power::from_watts(4.0),
+                Test::Lo => Power::from_watts(1.0),
+            }
+        }
+        fn name(self) -> &'static str {
+            match self {
+                Test::Hi => "hi",
+                Test::Lo => "lo",
+            }
+        }
+    }
+
+    #[test]
+    fn energy_integrates_per_state() {
+        let mut t = StateTracker::new(SimTime::ZERO, Test::Hi);
+        t.transition(SimTime::from_millis(10), Test::Lo); // 4 W × 10 ms = 40 mJ
+        t.transition(SimTime::from_millis(30), Test::Hi); // 1 W × 20 ms = 20 mJ
+        t.accrue(SimTime::from_millis(40)); // 4 W × 10 ms = 40 mJ
+        assert!((t.total_energy().as_millijoules() - 100.0).abs() < 1e-9);
+        assert_eq!(t.time_in("hi"), SimDuration::from_millis(20));
+        assert_eq!(t.time_in("lo"), SimDuration::from_millis(20));
+        assert_eq!(t.transition_count(), 2);
+        assert!((t.fraction_in("hi") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accrue_returns_incremental_energy() {
+        let mut t = StateTracker::new(SimTime::ZERO, Test::Lo);
+        let e1 = t.accrue(SimTime::from_millis(5));
+        let e2 = t.accrue(SimTime::from_millis(5)); // zero-length
+        assert!((e1.as_millijoules() - 5.0).abs() < 1e-12);
+        assert!(e2.is_zero());
+    }
+
+    #[test]
+    fn same_state_transition_is_not_counted() {
+        let mut t = StateTracker::new(SimTime::ZERO, Test::Hi);
+        t.transition(SimTime::from_millis(1), Test::Hi);
+        assert_eq!(t.transition_count(), 0);
+        assert_eq!(t.state(), Test::Hi);
+    }
+
+    #[test]
+    fn timeline_segments_close_at_end() {
+        let mut t = StateTracker::with_timeline(SimTime::ZERO, Test::Hi);
+        t.transition(SimTime::from_millis(2), Test::Lo);
+        t.transition(SimTime::from_millis(7), Test::Hi);
+        let segs = t.segments(SimTime::from_millis(10));
+        assert_eq!(
+            segs,
+            vec![
+                (SimTime::ZERO, SimTime::from_millis(2), "hi"),
+                (SimTime::from_millis(2), SimTime::from_millis(7), "lo"),
+                (SimTime::from_millis(7), SimTime::from_millis(10), "hi"),
+            ]
+        );
+    }
+
+    #[test]
+    fn timeline_absent_when_disabled() {
+        let t = StateTracker::new(SimTime::ZERO, Test::Hi);
+        assert!(t.timeline().is_none());
+        assert!(t.segments(SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn accruing_backwards_panics() {
+        let mut t = StateTracker::new(SimTime::from_millis(5), Test::Hi);
+        t.accrue(SimTime::from_millis(1));
+    }
+}

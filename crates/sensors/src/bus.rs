@@ -1,0 +1,134 @@
+//! Sensor attachment buses.
+//!
+//! Table I lists the input bus of each sensor (SPI, I²C, TTL serial, analog,
+//! camera serial). The bus determines how long moving a sensor's payload
+//! into the MCU takes, on top of the sensor's own acquisition time.
+
+use std::fmt;
+
+use iotse_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The physical bus a sensor is attached to (Table I "Input Bus type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BusKind {
+    /// I²C at 400 kbit/s (fast mode).
+    I2c,
+    /// SPI at 10 Mbit/s.
+    Spi,
+    /// TTL-level UART at 115 200 baud (8N1 ⇒ 10 bits per byte).
+    TtlSerial,
+    /// An analog pin read through the ADC — no serial framing.
+    Analog,
+    /// Camera parallel/serial interface at 8 Mbit/s.
+    CameraSerial,
+}
+
+impl BusKind {
+    /// All bus kinds, in Table I order of first appearance.
+    pub const ALL: [BusKind; 5] = [
+        BusKind::Spi,
+        BusKind::I2c,
+        BusKind::TtlSerial,
+        BusKind::Analog,
+        BusKind::CameraSerial,
+    ];
+
+    /// Effective payload bitrate in bits per second.
+    #[must_use]
+    pub fn bits_per_second(self) -> f64 {
+        match self {
+            BusKind::I2c => 400_000.0,
+            BusKind::Spi => 10_000_000.0,
+            BusKind::TtlSerial => 115_200.0,
+            // ADC conversion: modeled as 10 µs per 2-byte conversion ⇒
+            // equivalent bitrate used only for uniformity.
+            BusKind::Analog => 1_600_000.0,
+            BusKind::CameraSerial => 8_000_000.0,
+        }
+    }
+
+    /// Framing overhead factor (bits on the wire per payload bit).
+    #[must_use]
+    pub fn framing_overhead(self) -> f64 {
+        match self {
+            // Address + ACK bits.
+            BusKind::I2c => 9.0 / 8.0,
+            BusKind::Spi => 1.0,
+            // 8N1: start + stop bits.
+            BusKind::TtlSerial => 10.0 / 8.0,
+            BusKind::Analog => 1.0,
+            BusKind::CameraSerial => 1.0,
+        }
+    }
+
+    /// Time to move `bytes` of payload across this bus.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iotse_sensors::bus::BusKind;
+    ///
+    /// // 12 bytes over analog ADC sampling is far under a millisecond…
+    /// assert!(BusKind::Analog.transfer_time(12).as_micros() < 100);
+    /// // …while a 24 kB low-res frame over TTL serial takes ~2 s.
+    /// assert!(BusKind::TtlSerial.transfer_time(24_000).as_millis() > 1_000);
+    /// ```
+    #[must_use]
+    pub fn transfer_time(self, bytes: usize) -> SimDuration {
+        let bits = bytes as f64 * 8.0 * self.framing_overhead();
+        SimDuration::from_secs_f64(bits / self.bits_per_second())
+    }
+}
+
+impl fmt::Display for BusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusKind::I2c => "I2C",
+            BusKind::Spi => "SPI",
+            BusKind::TtlSerial => "TTL Serial",
+            BusKind::Analog => "Analog",
+            BusKind::CameraSerial => "Camera Serial",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_buses_are_faster() {
+        let b = 1_000;
+        assert!(BusKind::Spi.transfer_time(b) < BusKind::I2c.transfer_time(b));
+        assert!(BusKind::I2c.transfer_time(b) < BusKind::TtlSerial.transfer_time(b));
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let one = BusKind::I2c.transfer_time(100);
+        let two = BusKind::I2c.transfer_time(200);
+        assert_eq!(one * 2, two);
+    }
+
+    #[test]
+    fn ttl_serial_includes_start_stop_bits() {
+        // 1 byte = 10 bits at 115200 baud ≈ 86.8 µs.
+        let t = BusKind::TtlSerial.transfer_time(1);
+        assert!((t.as_secs_f64() - 10.0 / 115_200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_is_zero_time() {
+        for bus in BusKind::ALL {
+            assert!(bus.transfer_time(0).is_zero());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BusKind::I2c.to_string(), "I2C");
+        assert_eq!(BusKind::CameraSerial.to_string(), "Camera Serial");
+    }
+}

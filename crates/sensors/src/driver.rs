@@ -1,0 +1,256 @@
+//! The MCU-side sensor driver.
+//!
+//! §II-B decomposes one `Sensor.Read()` into three tasks: **(I)** checking
+//! sensor availability, **(II)** reading the data register, and **(III)**
+//! formatting raw data into engineering units. [`SensorDriver`] performs the
+//! same three steps against a [`SignalSource`]: the availability check can
+//! fail (error injection), the register read quantizes the physical value to
+//! the sensor's ADC resolution, and formatting scales it back — so the
+//! paper's example (raw `1235` → `0.1235 m/s²`) is a real code path.
+
+use std::fmt;
+
+use iotse_sim::rng::SeedTree;
+use iotse_sim::time::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::reading::{SampleValue, SensorSample, SignalSource};
+use crate::spec::{PayloadKind, SensorSpec};
+
+/// Error returned when a read fails the §II-B Task-I availability checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadSensorError {
+    /// Which sensor failed.
+    pub sensor: crate::spec::SensorId,
+    /// Which check failed.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ReadSensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sensor {} not ready: {}", self.sensor, self.reason)
+    }
+}
+
+impl std::error::Error for ReadSensorError {}
+
+/// Fixed-point scale used when quantizing scalar physical values through the
+/// ADC register (10⁻⁴ units per count, the paper's accelerometer example).
+pub const ADC_SCALE: f64 = 1e4;
+
+/// Quantizes a physical value through a signed 32-bit register.
+#[must_use]
+fn through_register(x: f64) -> f64 {
+    let counts = (x * ADC_SCALE).round();
+    let counts = counts.clamp(f64::from(i32::MIN), f64::from(i32::MAX));
+    counts / ADC_SCALE
+}
+
+/// The three-task sensor read pipeline of §II-B.
+pub struct SensorDriver {
+    spec: SensorSpec,
+    source: Box<dyn SignalSource>,
+    seq: u64,
+    error_rate: f64,
+    rng: StdRng,
+    reads_ok: u64,
+    reads_failed: u64,
+}
+
+impl fmt::Debug for SensorDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SensorDriver")
+            .field("spec", &self.spec.id)
+            .field("seq", &self.seq)
+            .field("error_rate", &self.error_rate)
+            .field("reads_ok", &self.reads_ok)
+            .field("reads_failed", &self.reads_failed)
+            .finish()
+    }
+}
+
+impl SensorDriver {
+    /// Creates a driver for `spec` reading from `source`, with no injected
+    /// errors.
+    #[must_use]
+    pub fn new(seeds: &SeedTree, spec: SensorSpec, source: Box<dyn SignalSource>) -> Self {
+        let rng = seeds.stream(&format!("driver/{}", spec.id));
+        SensorDriver {
+            spec,
+            source,
+            seq: 0,
+            error_rate: 0.0,
+            rng,
+            reads_ok: 0,
+            reads_failed: 0,
+        }
+    }
+
+    /// Sets the probability that Task I (availability check) fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "error rate must be in [0, 1]");
+        self.error_rate = rate;
+        self
+    }
+
+    /// The sensor spec this driver serves.
+    #[must_use]
+    pub fn spec(&self) -> &SensorSpec {
+        &self.spec
+    }
+
+    /// Successful reads so far.
+    #[must_use]
+    pub fn reads_ok(&self) -> u64 {
+        self.reads_ok
+    }
+
+    /// Failed availability checks so far.
+    #[must_use]
+    pub fn reads_failed(&self) -> u64 {
+        self.reads_failed
+    }
+
+    /// Performs one read at instant `t`: check availability, read the data
+    /// register, format to engineering units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadSensorError`] when the availability check fails (the
+    /// MCU "stops reading and throws an error message", §II-B); the sequence
+    /// number is not consumed.
+    pub fn read(&mut self, t: SimTime) -> Result<SensorSample, ReadSensorError> {
+        // Task I: checking sensor availability.
+        if self.error_rate > 0.0 && self.rng.gen::<f64>() < self.error_rate {
+            self.reads_failed += 1;
+            return Err(ReadSensorError {
+                sensor: self.spec.id,
+                reason: "ready bit not set",
+            });
+        }
+        // Task II: reading the sensor data register (quantization happens
+        // here), Task III: decode back into meaningful values.
+        let raw = self.source.sample(t);
+        let value = match (raw, self.spec.payload) {
+            (SampleValue::Scalar(x), PayloadKind::Int | PayloadKind::Double) => {
+                SampleValue::Scalar(through_register(x))
+            }
+            (SampleValue::Triple(v), _) => SampleValue::Triple([
+                through_register(v[0]),
+                through_register(v[1]),
+                through_register(v[2]),
+            ]),
+            (other, _) => other, // blobs pass through untouched
+        };
+        let sample = SensorSample {
+            sensor: self.spec.id,
+            seq: self.seq,
+            acquired_at: t,
+            value,
+        };
+        self.seq += 1;
+        self.reads_ok += 1;
+        Ok(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::spec::SensorId;
+
+    struct Constant(f64);
+    impl SignalSource for Constant {
+        fn sample(&mut self, _t: SimTime) -> SampleValue {
+            SampleValue::Scalar(self.0)
+        }
+    }
+
+    struct Vector([f64; 3]);
+    impl SignalSource for Vector {
+        fn sample(&mut self, _t: SimTime) -> SampleValue {
+            SampleValue::Triple(self.0)
+        }
+    }
+
+    fn seeds() -> SeedTree {
+        SeedTree::new(99)
+    }
+
+    #[test]
+    fn quantizes_like_the_papers_example() {
+        // Raw register 1235 counts ⇒ 0.1235 m/s² (§II-B Task III example).
+        let mut d = SensorDriver::new(&seeds(), catalog::pulse(), Box::new(Constant(0.12351)));
+        let s = d.read(SimTime::ZERO).expect("reads");
+        assert_eq!(s.value.as_scalar(), Some(0.1235));
+    }
+
+    #[test]
+    fn triples_are_quantized_per_axis() {
+        let mut d = SensorDriver::new(
+            &seeds(),
+            catalog::accelerometer(),
+            Box::new(Vector([1.00004, -2.00006, 9.80665])),
+        );
+        let v = d
+            .read(SimTime::ZERO)
+            .expect("reads")
+            .value
+            .as_triple()
+            .expect("triple");
+        assert_eq!(v, [1.0, -2.0001, 9.8067]);
+    }
+
+    #[test]
+    fn sequence_numbers_increment_only_on_success() {
+        let mut d = SensorDriver::new(&seeds(), catalog::light(), Box::new(Constant(300.0)))
+            .with_error_rate(1.0);
+        assert!(d.read(SimTime::ZERO).is_err());
+        assert_eq!(d.reads_failed(), 1);
+        let mut d2 = SensorDriver::new(&seeds(), catalog::light(), Box::new(Constant(300.0)));
+        let a = d2.read(SimTime::ZERO).expect("ok");
+        let b = d2.read(SimTime::from_millis(1)).expect("ok");
+        assert_eq!(a.seq, 0);
+        assert_eq!(b.seq, 1);
+        assert_eq!(d2.reads_ok(), 2);
+    }
+
+    #[test]
+    fn error_rate_statistics_are_plausible() {
+        let mut d = SensorDriver::new(&seeds(), catalog::sound(), Box::new(Constant(512.0)))
+            .with_error_rate(0.3);
+        let mut failed = 0;
+        for i in 0..1000 {
+            if d.read(SimTime::from_millis(i)).is_err() {
+                failed += 1;
+            }
+        }
+        assert!(
+            (200..400).contains(&failed),
+            "expected ≈300 failures, got {failed}"
+        );
+    }
+
+    #[test]
+    fn error_display_names_sensor() {
+        let e = ReadSensorError {
+            sensor: SensorId::S4,
+            reason: "ready bit not set",
+        };
+        assert_eq!(e.to_string(), "sensor S4 not ready: ready bit not set");
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn error_rate_validated() {
+        let _ = SensorDriver::new(&seeds(), catalog::light(), Box::new(Constant(0.0)))
+            .with_error_rate(1.5);
+    }
+}

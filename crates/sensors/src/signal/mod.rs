@@ -1,0 +1,24 @@
+//! Synthetic phenomena behind the sensors.
+//!
+//! The paper's workloads ran against real physical signals (a walking user,
+//! a beating heart, street sound, …). These generators are the simulated
+//! substitutes: deterministic, seeded, and — crucially — carrying **ground
+//! truth** (the number of steps taken, the true beat times, the injected
+//! earthquake window, the spoken keyword, …) so that the reimplemented app
+//! kernels can be tested for functional correctness, not just timed.
+
+pub mod audio;
+pub mod ecg;
+pub mod environment;
+pub mod fingerprint;
+pub mod gait;
+pub mod image;
+pub mod seismic;
+
+pub use audio::AudioGenerator;
+pub use ecg::EcgGenerator;
+pub use environment::EnvironmentGenerator;
+pub use fingerprint::{FingerTemplate, FingerprintScanner};
+pub use gait::GaitGenerator;
+pub use image::ImageGenerator;
+pub use seismic::SeismicGenerator;

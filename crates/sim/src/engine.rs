@@ -1,0 +1,311 @@
+//! The discrete-event execution loop.
+//!
+//! [`Engine`] owns the simulated clock and the pending-event set; the caller
+//! owns the world state `S`. Events are `FnOnce(&mut S, &mut Engine<S>)`
+//! closures, so a handler can mutate the world *and* schedule follow-up
+//! events. Execution is strictly ordered by `(time, insertion order)` — see
+//! [`crate::queue::EventQueue`] — which makes every run deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use iotse_sim::engine::Engine;
+//! use iotse_sim::time::{SimDuration, SimTime};
+//!
+//! // World state: a counter.
+//! let mut hits = 0u32;
+//! let mut engine = Engine::new();
+//!
+//! // A self-rescheduling periodic event.
+//! fn tick(hits: &mut u32, engine: &mut Engine<u32>) {
+//!     *hits += 1;
+//!     if *hits < 5 {
+//!         engine.schedule_in(SimDuration::from_millis(10), tick);
+//!     }
+//! }
+//! engine.schedule_at(SimTime::ZERO, tick);
+//! engine.run(&mut hits);
+//!
+//! assert_eq!(hits, 5);
+//! assert_eq!(engine.now(), SimTime::from_millis(40));
+//! ```
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event handler.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
+struct Event<S> {
+    label: &'static str,
+    run: EventFn<S>,
+}
+
+impl<S> std::fmt::Debug for Event<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event").field("label", &self.label).finish()
+    }
+}
+
+/// Why [`Engine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// The pending-event set drained completely.
+    Drained,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// A handler called [`Engine::request_stop`].
+    Stopped,
+}
+
+/// The discrete-event engine: clock plus pending-event set.
+///
+/// See the [module documentation](self) for an end-to-end example.
+#[derive(Debug)]
+pub struct Engine<S> {
+    now: SimTime,
+    queue: EventQueue<Event<S>>,
+    executed: u64,
+    stop_requested: bool,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            executed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// The current simulated instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[must_use]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Engine::now`] — simulated time
+    /// never runs backwards.
+    pub fn schedule_at(
+        &mut self,
+        time: SimTime,
+        event: impl FnOnce(&mut S, &mut Engine<S>) + 'static,
+    ) {
+        self.schedule_labeled(time, "event", event);
+    }
+
+    /// Schedules `event` after the relative delay `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut S, &mut Engine<S>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at `time` with a static label that shows up in
+    /// `Debug` output; useful when diagnosing stuck scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Engine::now`].
+    pub fn schedule_labeled(
+        &mut self,
+        time: SimTime,
+        label: &'static str,
+        event: impl FnOnce(&mut S, &mut Engine<S>) + 'static,
+    ) {
+        assert!(
+            time >= self.now,
+            "cannot schedule {label:?} at {time} which is before now ({})",
+            self.now
+        );
+        self.queue.push(
+            time,
+            Event {
+                label,
+                run: Box::new(event),
+            },
+        );
+    }
+
+    /// Asks the run loop to stop after the current handler returns. Pending
+    /// events are kept, so a later `run*` call resumes where it left off.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Executes the single earliest pending event, advancing the clock to its
+    /// due time. Returns `false` if nothing was pending.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.time >= self.now);
+        self.now = scheduled.time;
+        self.executed += 1;
+        (scheduled.item.run)(state, self);
+        true
+    }
+
+    /// Runs until the pending-event set drains or a handler requests a stop.
+    pub fn run(&mut self, state: &mut S) -> RunOutcome {
+        self.run_until(state, SimTime::MAX)
+    }
+
+    /// Runs until the pending-event set drains, a handler requests a stop, or
+    /// the next event would fire strictly after `horizon`. On
+    /// [`RunOutcome::HorizonReached`], the clock is advanced to exactly
+    /// `horizon` (so time-weighted accounting can close out the interval) and
+    /// later events remain pending.
+    pub fn run_until(&mut self, state: &mut S, horizon: SimTime) -> RunOutcome {
+        self.stop_requested = false;
+        loop {
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => {
+                    if horizon != SimTime::MAX {
+                        self.now = self.now.max(horizon);
+                    }
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    let fired = self.step(state);
+                    debug_assert!(fired);
+                }
+            }
+        }
+    }
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_order_and_advance_clock() {
+        let mut log: Vec<(u64, &str)> = Vec::new();
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(2), |log: &mut Vec<(u64, &str)>, e| {
+            log.push((e.now().as_millis(), "b"));
+        });
+        engine.schedule_at(SimTime::from_millis(1), |log: &mut Vec<(u64, &str)>, e| {
+            log.push((e.now().as_millis(), "a"));
+        });
+        let outcome = engine.run(&mut log);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(log, vec![(1, "a"), (2, "b")]);
+        assert_eq!(engine.events_executed(), 2);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut total = 0u64;
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(1), |total: &mut u64, e| {
+            *total += 1;
+            e.schedule_in(SimDuration::from_millis(1), |total: &mut u64, _| {
+                *total += 10;
+            });
+        });
+        engine.run(&mut total);
+        assert_eq!(total, 11);
+        assert_eq!(engine.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_pending() {
+        let mut fired = Vec::new();
+        let mut engine = Engine::new();
+        for ms in [1u64, 5, 10] {
+            engine.schedule_at(SimTime::from_millis(ms), move |fired: &mut Vec<u64>, _| {
+                fired.push(ms);
+            });
+        }
+        let outcome = engine.run_until(&mut fired, SimTime::from_millis(6));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(fired, vec![1, 5]);
+        assert_eq!(engine.now(), SimTime::from_millis(6));
+        assert_eq!(engine.events_pending(), 1);
+        // Resuming picks up the rest.
+        engine.run(&mut fired);
+        assert_eq!(fired, vec![1, 5, 10]);
+    }
+
+    #[test]
+    fn stop_request_halts_loop_but_keeps_events() {
+        let mut count = 0u32;
+        let mut engine = Engine::new();
+        engine.schedule_at(
+            SimTime::from_millis(1),
+            |count: &mut u32, e: &mut Engine<u32>| {
+                *count += 1;
+                e.request_stop();
+            },
+        );
+        engine.schedule_at(SimTime::from_millis(2), |count: &mut u32, _| {
+            *count += 1;
+        });
+        assert_eq!(engine.run(&mut count), RunOutcome::Stopped);
+        assert_eq!(count, 1);
+        assert_eq!(engine.events_pending(), 1);
+        assert_eq!(engine.run(&mut count), RunOutcome::Drained);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(SimTime::from_millis(5), |_, _| {});
+        engine.run(&mut ());
+        engine.schedule_at(SimTime::from_millis(1), |_, _| {});
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut order = Vec::new();
+        let mut engine = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime::from_millis(3), move |order: &mut Vec<i32>, _| {
+                order.push(i);
+            });
+        }
+        engine.run(&mut order);
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut engine: Engine<()> = Engine::new();
+        assert!(!engine.step(&mut ()));
+    }
+}

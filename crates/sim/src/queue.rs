@@ -1,0 +1,202 @@
+//! The pending-event set.
+//!
+//! A thin wrapper around [`BinaryHeap`] that orders events by `(time, seq)`
+//! where `seq` is a monotonically increasing insertion counter. The counter
+//! makes ordering **total and deterministic**: two events scheduled for the
+//! same instant fire in the order they were scheduled (FIFO), which is the
+//! property every experiment in this workspace relies on for bit-for-bit
+//! reproducibility.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled entry: a payload due at `time`, with an insertion sequence
+/// number used to break ties deterministically.
+#[derive(Debug)]
+pub struct Scheduled<T> {
+    /// When the entry is due.
+    pub time: SimTime,
+    /// Insertion order, unique per queue.
+    pub seq: u64,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timed events.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_sim::queue::EventQueue;
+/// use iotse_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), "late");
+/// q.push(SimTime::from_millis(1), "early");
+/// q.push(SimTime::from_millis(1), "early-second");
+/// assert_eq!(q.pop().map(|s| s.item), Some("early"));
+/// assert_eq!(q.pop().map(|s| s.item), Some("early-second"));
+/// assert_eq!(q.pop().map(|s| s.item), Some("late"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with space for `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` at `time`. Returns the sequence number assigned,
+    /// which is unique within this queue and reflects insertion order.
+    pub fn push(&mut self, time: SimTime, item: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, item });
+        seq
+    }
+
+    /// Removes and returns the earliest entry (FIFO among ties), or `None`
+    /// if the queue is empty.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        self.heap.pop()
+    }
+
+    /// The due time of the earliest entry without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no entries are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of entries ever scheduled on this queue.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Discards all pending entries (the sequence counter keeps advancing,
+    /// so determinism is unaffected).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.item)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.item)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), "a");
+        q.push(SimTime::from_nanos(1), "b");
+        assert_eq!(q.pop().unwrap().item, "b");
+        q.push(SimTime::from_nanos(2), "c");
+        q.push(SimTime::from_nanos(9), "d");
+        assert_eq!(q.pop().unwrap().item, "c");
+        assert_eq!(q.pop().unwrap().item, "a");
+        assert_eq!(q.pop().unwrap().item, "d");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+        // Sequence numbers continue after clear.
+        let seq = q.push(SimTime::ZERO, 3);
+        assert_eq!(seq, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every stochastic element of the workspace (synthetic sensor signals,
+//! jitter, noise) draws from a stream derived from a single experiment seed,
+//! so a whole scenario replays identically from one `u64`. Streams are
+//! derived by hashing `(seed, label)` with SplitMix64, so adding a new
+//! consumer never shifts the draws of existing ones — unlike handing a
+//! single RNG around.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One round of the SplitMix64 mixing function.
+#[must_use]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A root seed from which independent, label-addressed RNG streams are
+/// derived.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_sim::rng::SeedTree;
+/// use rand::Rng;
+///
+/// let tree = SeedTree::new(42);
+/// let mut accel = tree.stream("sensor/accelerometer");
+/// let mut sound = tree.stream("sensor/sound");
+/// // Streams are independent and reproducible:
+/// let a1: f64 = accel.gen();
+/// let mut accel2 = SeedTree::new(42).stream("sensor/accelerometer");
+/// assert_eq!(a1, accel2.gen::<f64>());
+/// let _ = sound;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedTree {
+    root: u64,
+}
+
+impl SeedTree {
+    /// Creates a seed tree from a root seed.
+    #[must_use]
+    pub fn new(root: u64) -> Self {
+        SeedTree { root }
+    }
+
+    /// The root seed.
+    #[must_use]
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Derives the 64-bit sub-seed for `label`.
+    #[must_use]
+    pub fn derive(&self, label: &str) -> u64 {
+        // FNV-1a over the label, mixed with the root through SplitMix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        splitmix64(self.root ^ splitmix64(h))
+    }
+
+    /// Returns a fresh RNG for `label`, independent of all other labels.
+    #[must_use]
+    pub fn stream(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.derive(label))
+    }
+
+    /// Derives a child tree, for namespacing (e.g. one tree per app
+    /// instance).
+    #[must_use]
+    pub fn child(&self, label: &str) -> SeedTree {
+        SeedTree {
+            root: self.derive(label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let t = SeedTree::new(7);
+        let a: Vec<u32> = t
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = t
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let t = SeedTree::new(7);
+        assert_ne!(t.derive("x"), t.derive("y"));
+        assert_ne!(t.derive("x"), t.derive("x/2"));
+    }
+
+    #[test]
+    fn different_roots_differ() {
+        assert_ne!(SeedTree::new(1).derive("x"), SeedTree::new(2).derive("x"));
+    }
+
+    #[test]
+    fn child_trees_are_namespaced() {
+        let t = SeedTree::new(9);
+        let c1 = t.child("app/A2");
+        let c2 = t.child("app/A7");
+        assert_ne!(c1.derive("noise"), c2.derive("noise"));
+        // Child derivation is itself deterministic.
+        assert_eq!(c1.derive("noise"), t.child("app/A2").derive("noise"));
+    }
+
+    #[test]
+    fn splitmix_known_values_are_stable() {
+        // Pinned so that seed-derivation changes are caught by tests:
+        // experiment outputs depend on these.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Execution tracing.
+//!
+//! A [`TraceLog`] records what happened and when — sensor reads, interrupts,
+//! transfers, power-state changes — as structured entries. Experiments use it
+//! to regenerate the paper's Figure 5 timelines and tests use it to assert
+//! exact event sequences.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The kind of a trace entry. Categories mirror the paper's four sub-tasks
+/// plus platform housekeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A sensor sample was collected at the MCU (Tasks I–III of §II-B).
+    SensorRead,
+    /// The MCU raised an interrupt to the CPU.
+    Interrupt,
+    /// Data moved between the MCU board and the Main board.
+    DataTransfer,
+    /// App-specific computation ran (on CPU or MCU).
+    Compute,
+    /// A device changed power state.
+    PowerState,
+    /// Scheme-level bookkeeping (batch flushed, offload dispatched, …).
+    Scheme,
+    /// QoS accounting (deadline met/missed).
+    Qos,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::SensorRead => "sensor-read",
+            TraceKind::Interrupt => "interrupt",
+            TraceKind::DataTransfer => "data-transfer",
+            TraceKind::Compute => "compute",
+            TraceKind::PowerState => "power-state",
+            TraceKind::Scheme => "scheme",
+            TraceKind::Qos => "qos",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: SimTime,
+    /// What category of thing happened.
+    pub kind: TraceKind,
+    /// Which component reported it (e.g. `"cpu"`, `"mcu"`, `"app:A2"`).
+    pub source: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.time, self.kind, self.source, self.detail
+        )
+    }
+}
+
+/// An append-only, optionally disabled, in-memory trace.
+///
+/// Tracing is off by default so the hot experiment loops pay nothing; tests
+/// and the Figure 5 harness enable it explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_sim::trace::{TraceKind, TraceLog};
+/// use iotse_sim::time::SimTime;
+///
+/// let mut log = TraceLog::enabled();
+/// log.record(SimTime::from_millis(1), TraceKind::Interrupt, "mcu", "sample ready");
+/// assert_eq!(log.entries().len(), 1);
+/// assert_eq!(log.count(TraceKind::Interrupt), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceLog {
+    /// Creates a disabled (zero-cost) trace.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceLog {
+            enabled: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an enabled trace.
+    #[must_use]
+    pub fn enabled() -> Self {
+        TraceLog {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` if entries are being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off (existing entries are kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an entry if enabled.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        kind: TraceKind,
+        source: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                time,
+                kind,
+                source: source.into(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All recorded entries, in recording order (which is time order, since
+    /// the engine only moves forward).
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries of `kind`.
+    #[must_use]
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.entries.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Iterator over entries of `kind`.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(SimTime::ZERO, TraceKind::Compute, "cpu", "x");
+        assert!(log.entries().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_keeps_order_and_counts() {
+        let mut log = TraceLog::enabled();
+        log.record(SimTime::from_millis(1), TraceKind::Interrupt, "mcu", "a");
+        log.record(
+            SimTime::from_millis(2),
+            TraceKind::DataTransfer,
+            "link",
+            "b",
+        );
+        log.record(SimTime::from_millis(3), TraceKind::Interrupt, "mcu", "c");
+        assert_eq!(log.count(TraceKind::Interrupt), 2);
+        assert_eq!(log.count(TraceKind::DataTransfer), 1);
+        assert_eq!(log.count(TraceKind::Compute), 0);
+        let ints: Vec<&str> = log
+            .of_kind(TraceKind::Interrupt)
+            .map(|e| e.detail.as_str())
+            .collect();
+        assert_eq!(ints, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn toggling_preserves_existing_entries() {
+        let mut log = TraceLog::enabled();
+        log.record(SimTime::ZERO, TraceKind::Qos, "exec", "kept");
+        log.set_enabled(false);
+        log.record(SimTime::ZERO, TraceKind::Qos, "exec", "dropped");
+        assert_eq!(log.entries().len(), 1);
+        log.set_enabled(true);
+        log.record(SimTime::ZERO, TraceKind::Qos, "exec", "kept2");
+        assert_eq!(log.entries().len(), 2);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let e = TraceEntry {
+            time: SimTime::from_millis(5),
+            kind: TraceKind::SensorRead,
+            source: "mcu".into(),
+            detail: "S4 sample 12B".into(),
+        };
+        assert_eq!(e.to_string(), "[t+5ms] sensor-read mcu: S4 sample 12B");
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end functional correctness: every app's kernel output checked
+//! against the simulated world's ground truth, across execution schemes —
+//! the property the paper takes for granted ("no loss in performance")
+//! made testable.
+
+use iotse::prelude::*;
+use iotse::sensors::signal::ecg::EcgProfile;
+use iotse::sensors::signal::gait::GaitProfile;
+use iotse::sensors::signal::seismic::Quake;
+
+fn run_world(
+    scheme: Scheme,
+    apps: &[AppId],
+    seed: u64,
+    windows: u32,
+    world: WorldConfig,
+) -> RunResult {
+    Scenario::new(scheme, catalog::apps(apps, seed))
+        .windows(windows)
+        .seed(seed)
+        .world(world)
+        .run()
+}
+
+#[test]
+fn step_counter_matches_walking_cadence_under_every_scheme() {
+    for cadence in [1.5, 2.0, 2.5] {
+        let world = WorldConfig {
+            gait: GaitProfile {
+                cadence_hz: cadence,
+                ..GaitProfile::default()
+            },
+            ..WorldConfig::default()
+        };
+        for scheme in Scheme::SINGLE_APP {
+            let r = run_world(scheme, &[AppId::A2], 21, 4, world.clone());
+            let total: u32 = r
+                .app(AppId::A2)
+                .expect("ran")
+                .windows
+                .iter()
+                .map(|w| match w.output {
+                    AppOutput::Steps(n) => n,
+                    _ => panic!("wrong output"),
+                })
+                .sum();
+            let expected = (cadence * 4.0).round() as u32;
+            assert!(
+                total.abs_diff(expected) <= 1,
+                "cadence {cadence} under {scheme}: {total} steps vs {expected} true"
+            );
+        }
+    }
+}
+
+#[test]
+fn earthquake_detector_tracks_injected_events() {
+    let world = WorldConfig {
+        quakes: vec![Quake {
+            onset: SimTime::from_secs(2),
+            duration: SimDuration::from_secs(2),
+            peak: 10.0,
+        }],
+        ..WorldConfig::default()
+    };
+    for scheme in [Scheme::Baseline, Scheme::Com] {
+        let r = run_world(scheme, &[AppId::A7], 22, 6, world.clone());
+        let verdicts: Vec<bool> = r
+            .app(AppId::A7)
+            .expect("ran")
+            .windows
+            .iter()
+            .map(|w| matches!(w.output, AppOutput::Quake { detected: true }))
+            .collect();
+        assert!(
+            !verdicts[0] && !verdicts[1],
+            "{scheme}: early windows quiet {verdicts:?}"
+        );
+        assert!(
+            verdicts[2] || verdicts[3],
+            "{scheme}: event missed {verdicts:?}"
+        );
+    }
+}
+
+#[test]
+fn heartbeat_monitor_counts_beats_within_tolerance() {
+    let world = WorldConfig {
+        ecg: EcgProfile {
+            bpm: 90.0,
+            premature_fraction: 0.0,
+            ..EcgProfile::default()
+        },
+        ..WorldConfig::default()
+    };
+    let windows = 20u32;
+    let r = run_world(Scheme::Batching, &[AppId::A8], 23, windows, world);
+    let beats: u32 = r
+        .app(AppId::A8)
+        .expect("ran")
+        .windows
+        .iter()
+        .map(|w| match w.output {
+            AppOutput::Heartbeat { beats, .. } => beats,
+            _ => panic!("wrong output"),
+        })
+        .sum();
+    let expected = 90.0 * f64::from(windows) / 60.0;
+    assert!(
+        (f64::from(beats) - expected).abs() <= 2.0,
+        "beats {beats} vs expected {expected}"
+    );
+}
+
+#[test]
+fn fingerprints_identify_the_same_people_regardless_of_scheme() {
+    let seed = 24;
+    let collect = |scheme| {
+        let r = Scenario::new(scheme, catalog::apps(&[AppId::A10], seed))
+            .windows(4)
+            .seed(seed)
+            .run();
+        r.app(AppId::A10)
+            .expect("ran")
+            .windows
+            .iter()
+            .map(|w| match w.output {
+                AppOutput::FingerMatch { matched } => matched,
+                _ => panic!("wrong output"),
+            })
+            .collect::<Vec<_>>()
+    };
+    let baseline = collect(Scheme::Baseline);
+    assert_eq!(baseline, vec![Some(0), Some(1), Some(2), Some(3)]);
+    assert_eq!(baseline, collect(Scheme::Com));
+    assert_eq!(baseline, collect(Scheme::Batching));
+}
+
+#[test]
+fn jpeg_quality_survives_offloading() {
+    let seed = 25;
+    let psnr_of = |scheme| {
+        let r = Scenario::new(scheme, catalog::apps(&[AppId::A9], seed))
+            .windows(2)
+            .seed(seed)
+            .run();
+        r.app(AppId::A9)
+            .expect("ran")
+            .windows
+            .iter()
+            .map(|w| match w.output {
+                AppOutput::ImageQuality { psnr_db } => psnr_db,
+                _ => panic!("wrong output"),
+            })
+            .collect::<Vec<_>>()
+    };
+    let base = psnr_of(Scheme::Baseline);
+    for p in &base {
+        assert!(*p > 30.0, "PSNR {p}");
+    }
+    assert_eq!(
+        base,
+        psnr_of(Scheme::Com),
+        "offloading must not change pixels"
+    );
+}
+
+#[test]
+fn speech_to_text_recognizes_scheduled_words() {
+    let seed = 26;
+    let windows = 20u32;
+    let r = Scenario::new(Scheme::Batching, catalog::apps(&[AppId::A11], seed))
+        .windows(windows)
+        .seed(seed)
+        .run();
+    // Count recognized words and compare with the world's schedule.
+    let recognized: usize = r
+        .app(AppId::A11)
+        .expect("ran")
+        .windows
+        .iter()
+        .map(|w| match &w.output {
+            AppOutput::Words(ws) => ws.len(),
+            _ => panic!("wrong output"),
+        })
+        .sum();
+    // Default world: 24 utterances over 120 s ⇒ ~4 in 20 s; edge-straddling
+    // words may be missed.
+    assert!(
+        (1..=8).contains(&recognized),
+        "recognized {recognized} words"
+    );
+}
+
+#[test]
+fn shared_sensors_feed_identical_data_to_both_apps() {
+    // Under BEAM, A2 and A7 read the same S4 stream; their outputs must
+    // equal the outputs of dedicated runs with the same world.
+    let seed = 27;
+    let both = Scenario::new(Scheme::Beam, catalog::apps(&[AppId::A2, AppId::A7], seed))
+        .windows(3)
+        .seed(seed)
+        .run();
+    let steps: Vec<_> = both
+        .app(AppId::A2)
+        .expect("ran")
+        .windows
+        .iter()
+        .map(|w| w.output.clone())
+        .collect();
+    assert_eq!(steps.len(), 3);
+    for s in &steps {
+        assert_eq!(*s, AppOutput::Steps(2), "default 2 Hz walker");
+    }
+    // The earthquake app saw the same (quiet) world.
+    assert!(both
+        .app(AppId::A7)
+        .expect("ran")
+        .windows
+        .iter()
+        .all(|w| w.output == AppOutput::Quake { detected: false }));
+}

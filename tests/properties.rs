@@ -1,0 +1,226 @@
+//! Property-based tests over the workspace's core invariants.
+
+use iotse::apps::kernels::coap::{CoapCode, CoapMessage, CoapOption, CoapType};
+use iotse::apps::kernels::jpeg;
+use iotse::apps::kernels::json::Json;
+use iotse::apps::kernels::sync::{chunk, ChunkConfig};
+use iotse::energy::attribution::{Device, Routine};
+use iotse::energy::{EnergyLedger, Power, PowerTrace};
+use iotse::prelude::*;
+use iotse::sim::queue::EventQueue;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- sim ----
+
+proptest! {
+    /// The event queue pops in non-decreasing time order with FIFO ties,
+    /// whatever the insertion order.
+    #[test]
+    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(s) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(s.time >= lt);
+                if s.time == lt {
+                    prop_assert!(s.item > li, "FIFO violated among ties");
+                }
+            }
+            last = Some((s.time, s.item));
+        }
+    }
+
+    /// Duration arithmetic is associative with respect to summation order.
+    #[test]
+    fn durations_sum_in_any_order(mut nanos in prop::collection::vec(0u64..1_000_000_000, 1..50)) {
+        let forward: SimDuration = nanos.iter().map(|&n| SimDuration::from_nanos(n)).sum();
+        nanos.reverse();
+        let backward: SimDuration = nanos.iter().map(|&n| SimDuration::from_nanos(n)).sum();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Seed-tree streams are stable and label-independent.
+    #[test]
+    fn seed_tree_is_pure(seed in any::<u64>(), label in "[a-z/]{1,20}") {
+        let a = SeedTree::new(seed).derive(&label);
+        let b = SeedTree::new(seed).derive(&label);
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ------------------------------------------------------------- energy ----
+
+proptest! {
+    /// Splitting an interval never changes the integral:
+    /// E(a, c) = E(a, b) + E(b, c).
+    #[test]
+    fn power_trace_integral_is_additive(
+        points in prop::collection::vec((1u64..1_000, 0u32..10_000), 1..40),
+        split in 0u64..1_000_000,
+    ) {
+        let mut t = SimTime::ZERO;
+        let mut trace = PowerTrace::new(t, Power::from_milliwatts(100.0));
+        for &(dt, mw) in &points {
+            t += SimDuration::from_micros(dt);
+            trace.set(t, Power::from_milliwatts(f64::from(mw)));
+        }
+        let end = t + SimDuration::from_micros(1);
+        trace.finish(end);
+        let mid = SimTime::from_nanos(split % end.as_nanos().max(1));
+        let whole = trace.energy().as_microjoules();
+        let parts = trace.energy_between(SimTime::ZERO, mid).as_microjoules()
+            + trace.energy_between(mid, end).as_microjoules();
+        prop_assert!((whole - parts).abs() < 1e-6, "{whole} vs {parts}");
+    }
+
+    /// Ledger merge is addition: total(a ∪ b) = total(a) + total(b).
+    #[test]
+    fn ledger_merge_adds(cells in prop::collection::vec((0usize..4, 0usize..5, 0u32..1_000_000), 0..40)) {
+        let devices = Device::ALL;
+        let routines = Routine::ALL;
+        let mut a = EnergyLedger::new();
+        let mut b = EnergyLedger::new();
+        for (i, &(d, r, uj)) in cells.iter().enumerate() {
+            let target = if i % 2 == 0 { &mut a } else { &mut b };
+            target.charge(devices[d], routines[r], Energy::from_microjoules(f64::from(uj)));
+        }
+        let sum = a.total() + b.total();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert!((merged.total().as_microjoules() - sum.as_microjoules()).abs() < 1e-6);
+    }
+}
+
+// ------------------------------------------------------------ kernels ----
+
+fn arb_json(depth: u32) -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1e12f64..1e12).prop_map(|x| Json::Number((x * 1e4).round() / 1e4)),
+        "[ -~]{0,20}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(depth, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    /// Any JSON document we can build round-trips through text.
+    #[test]
+    fn json_round_trips(doc in arb_json(3)) {
+        let text = doc.to_text();
+        let back = Json::parse(&text).expect("own output parses");
+        prop_assert_eq!(back, doc);
+    }
+
+    /// Any well-formed CoAP message round-trips through the wire format.
+    #[test]
+    fn coap_round_trips(
+        mid in any::<u16>(),
+        token in prop::collection::vec(any::<u8>(), 0..=8),
+        deltas in prop::collection::vec((1u16..700, prop::collection::vec(any::<u8>(), 0..300)), 0..6),
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut number = 0u16;
+        let mut options = Vec::new();
+        for (delta, value) in deltas {
+            number = number.saturating_add(delta);
+            options.push(CoapOption { number, value });
+        }
+        let msg = CoapMessage {
+            mtype: CoapType::NonConfirmable,
+            code: CoapCode::CONTENT,
+            message_id: mid,
+            token,
+            options,
+            payload,
+        };
+        let back = CoapMessage::decode(&msg.encode()).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// The JPEG pipeline round-trips any image above a quality floor, and
+    /// the decoder never panics on its own encoder's output.
+    #[test]
+    fn jpeg_round_trips_with_bounded_loss(
+        w in 8usize..40,
+        h in 8usize..40,
+        seed in any::<u64>(),
+        quality in 30u8..=95,
+    ) {
+        let mut x = seed | 1;
+        let pixels: Vec<u8> = (0..w * h)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        let decoded = jpeg::decode(&jpeg::encode(&pixels, w, h, quality)).expect("decodes");
+        prop_assert_eq!(decoded.len(), pixels.len());
+        // Pure noise is the worst case for a DCT codec; demand only a
+        // sanity floor.
+        prop_assert!(jpeg::psnr(&pixels, &decoded) > 10.0);
+    }
+
+    /// The IDCT inverts the FDCT for arbitrary blocks.
+    #[test]
+    fn idct_inverts_fdct(vals in prop::collection::vec(-128.0f64..128.0, 64)) {
+        let mut block = [0.0; 64];
+        block.copy_from_slice(&vals);
+        let back = jpeg::idct(&jpeg::fdct(&block));
+        for (a, b) in block.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Content-defined chunking partitions the input exactly, within size
+    /// bounds.
+    #[test]
+    fn chunking_partitions_any_input(data in prop::collection::vec(any::<u8>(), 0..8_000)) {
+        let cfg = ChunkConfig::default();
+        let chunks = chunk(&data, &cfg);
+        let mut pos = 0;
+        for (i, c) in chunks.iter().enumerate() {
+            prop_assert_eq!(c.offset, pos);
+            prop_assert!(c.len <= cfg.max_chunk);
+            if i + 1 != chunks.len() {
+                prop_assert!(c.len >= cfg.min_chunk);
+            }
+            pos += c.len;
+        }
+        prop_assert_eq!(pos, data.len());
+    }
+}
+
+// ----------------------------------------------------------- platform ----
+
+proptest! {
+    /// Whatever the seed, the executor's structural counters equal the
+    /// Table II derivation, and energy orderings hold.
+    #[test]
+    fn executor_counters_hold_for_any_seed(seed in 0u64..5_000) {
+        let run = |scheme| {
+            Scenario::new(scheme, catalog::apps(&[AppId::A2], seed))
+                .windows(1)
+                .seed(seed)
+                .run()
+        };
+        let baseline = run(Scheme::Baseline);
+        prop_assert_eq!(baseline.interrupts, 1000);
+        prop_assert_eq!(baseline.bytes_transferred, 12_000);
+        let batching = run(Scheme::Batching);
+        prop_assert_eq!(batching.interrupts, 1);
+        let com = run(Scheme::Com);
+        prop_assert!(batching.total_energy() < baseline.total_energy());
+        prop_assert!(com.total_energy() < batching.total_energy());
+    }
+}

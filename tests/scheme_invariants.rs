@@ -1,0 +1,260 @@
+//! Cross-crate invariants of the scheme executor: energy orderings,
+//! counter exactness, determinism and conservation.
+
+use iotse::prelude::*;
+use iotse_energy::attribution::{Device, Routine};
+
+fn run(scheme: Scheme, apps: &[AppId], seed: u64, windows: u32) -> RunResult {
+    Scenario::new(scheme, catalog::apps(apps, seed))
+        .windows(windows)
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn com_beats_batching_beats_baseline_for_every_light_app() {
+    for id in AppId::LIGHT {
+        let baseline = run(Scheme::Baseline, &[id], 42, 2);
+        let batching = run(Scheme::Batching, &[id], 42, 2);
+        let com = run(Scheme::Com, &[id], 42, 2);
+        assert!(
+            batching.total_energy() < baseline.total_energy(),
+            "{id}: batching {} !< baseline {}",
+            batching.total_energy(),
+            baseline.total_energy()
+        );
+        assert!(
+            com.total_energy() < batching.total_energy(),
+            "{id}: com {} !< batching {}",
+            com.total_energy(),
+            batching.total_energy()
+        );
+    }
+}
+
+#[test]
+fn interrupt_counts_are_exact_per_scheme() {
+    // Table II row × windows for Baseline; one per window for Batching
+    // (flush) and COM (result).
+    let expected_baseline: &[(AppId, u64)] = &[
+        (AppId::A1, 2000),
+        (AppId::A2, 1000),
+        (AppId::A3, 20),
+        (AppId::A4, 2220),
+        (AppId::A5, 1221),
+        (AppId::A6, 2000),
+        (AppId::A7, 1000),
+        (AppId::A8, 1000),
+        (AppId::A9, 1),
+        (AppId::A10, 1),
+    ];
+    let windows = 3u32;
+    for &(id, per_window) in expected_baseline {
+        let baseline = run(Scheme::Baseline, &[id], 1, windows);
+        assert_eq!(
+            baseline.interrupts,
+            per_window * u64::from(windows),
+            "{id} baseline"
+        );
+        let batching = run(Scheme::Batching, &[id], 1, windows);
+        assert_eq!(batching.interrupts, u64::from(windows), "{id} batching");
+        let com = run(Scheme::Com, &[id], 1, windows);
+        assert_eq!(com.interrupts, u64::from(windows), "{id} com");
+        // Same sensor reads regardless of scheme.
+        assert_eq!(baseline.sensor_reads, batching.sensor_reads, "{id} reads");
+        assert_eq!(baseline.sensor_reads, com.sensor_reads, "{id} reads");
+    }
+}
+
+#[test]
+fn beam_never_costs_energy_and_saves_when_sensors_are_shared() {
+    for combo in iotse::apps::figure11_combinations() {
+        let baseline = run(Scheme::Baseline, &combo, 5, 2);
+        let beam = run(Scheme::Beam, &combo, 5, 2);
+        assert!(
+            beam.total_energy().as_millijoules()
+                <= baseline.total_energy().as_millijoules() * 1.0001,
+            "{combo:?}: BEAM must not cost extra"
+        );
+        assert!(
+            beam.interrupts < baseline.interrupts,
+            "{combo:?}: sharing must remove interrupts"
+        );
+    }
+}
+
+#[test]
+fn beam_equals_baseline_without_shared_sensors() {
+    // A8 (pulse) and A9 (camera) share nothing.
+    let combo = [AppId::A8, AppId::A9];
+    let baseline = run(Scheme::Baseline, &combo, 5, 2);
+    let beam = run(Scheme::Beam, &combo, 5, 2);
+    assert_eq!(baseline.interrupts, beam.interrupts);
+    assert_eq!(baseline.sensor_reads, beam.sensor_reads);
+    assert_eq!(baseline.bytes_transferred, beam.bytes_transferred);
+    let diff =
+        (baseline.total_energy().as_millijoules() - beam.total_energy().as_millijoules()).abs();
+    assert!(diff < 1e-6, "energy must match exactly, diff {diff} mJ");
+}
+
+#[test]
+fn runs_are_bit_for_bit_deterministic() {
+    for scheme in [Scheme::Baseline, Scheme::Bcom] {
+        let a = run(scheme, &[AppId::A2, AppId::A8, AppId::A11], 9, 2);
+        let b = run(scheme, &[AppId::A2, AppId::A8, AppId::A11], 9, 2);
+        assert_eq!(a, b, "{scheme} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_change_data_but_not_structure() {
+    let a = run(Scheme::Baseline, &[AppId::A2], 1, 2);
+    let b = run(Scheme::Baseline, &[AppId::A2], 2, 2);
+    assert_eq!(a.interrupts, b.interrupts);
+    assert_eq!(a.sensor_reads, b.sensor_reads);
+    assert_eq!(a.bytes_transferred, b.bytes_transferred);
+}
+
+#[test]
+fn ledger_totals_are_conserved() {
+    let r = run(Scheme::Bcom, &[AppId::A2, AppId::A11], 3, 2);
+    let by_device: f64 = Device::ALL
+        .iter()
+        .map(|&d| r.ledger.device_total(d).as_millijoules())
+        .sum();
+    let by_routine: f64 = Routine::ALL
+        .iter()
+        .map(|&rt| r.ledger.routine_total(rt).as_millijoules())
+        .sum();
+    let total = r.total_energy().as_millijoules();
+    assert!(
+        (by_device - total).abs() < 1e-6,
+        "device sum {by_device} vs {total}"
+    );
+    assert!(
+        (by_routine - total).abs() < 1e-6,
+        "routine sum {by_routine} vs {total}"
+    );
+}
+
+#[test]
+fn offloaded_flows_transfer_only_results() {
+    let r = run(Scheme::Com, &[AppId::A2], 3, 4);
+    // Four windows × 4-byte step counts.
+    assert_eq!(r.bytes_transferred, 16);
+    let baseline = run(Scheme::Baseline, &[AppId::A2], 3, 4);
+    assert_eq!(baseline.bytes_transferred, 4 * 12_000);
+}
+
+#[test]
+fn qos_holds_for_single_apps_under_all_schemes() {
+    for id in AppId::LIGHT {
+        for scheme in Scheme::SINGLE_APP {
+            let r = run(scheme, &[id], 4, 2);
+            assert_eq!(r.qos_violations(), 0, "{id} under {scheme}");
+            assert_eq!(
+                r.app(id).expect("ran").windows.len(),
+                2,
+                "{id} under {scheme} must complete every window"
+            );
+        }
+    }
+}
+
+#[test]
+fn heavy_app_is_never_offloaded_but_light_cohabitants_are() {
+    let r = run(Scheme::Bcom, &[AppId::A11, AppId::A6, AppId::A1], 6, 2);
+    assert_eq!(r.app(AppId::A11).expect("ran").flow, AppFlow::Batched);
+    assert_eq!(r.app(AppId::A6).expect("ran").flow, AppFlow::Offloaded);
+    assert_eq!(r.app(AppId::A1).expect("ran").flow, AppFlow::Offloaded);
+}
+
+#[test]
+fn idle_hub_spends_everything_in_the_idle_routine() {
+    let idle = Scenario::idle(SimDuration::from_secs(2)).seed(3).run();
+    assert!(idle.breakdown().total().is_zero());
+    assert!(idle.ledger.routine_total(Routine::Idle).as_millijoules() > 0.0);
+    assert_eq!(idle.interrupts, 0);
+    assert_eq!(idle.sensor_reads, 0);
+    // Both devices asleep: average power under a watt.
+    assert!(idle.average_power().as_watts() < 1.0);
+}
+
+#[test]
+fn power_trace_envelope_tracks_the_ledger() {
+    use iotse::core::calibration::Calibration;
+    let cal = Calibration::paper();
+    for scheme in Scheme::SINGLE_APP {
+        let r = Scenario::new(scheme, catalog::apps(&[AppId::A2], 3))
+            .windows(2)
+            .seed(3)
+            .with_timeline()
+            .run();
+        let trace = r.power_trace(&cal).expect("timeline recorded");
+        let envelope = trace.energy().as_millijoules();
+        let total = r.total_energy().as_millijoules();
+        // The envelope is CPU+MCU only: at most the ledger total, and
+        // within a few percent of it (sensors and the bus are small).
+        assert!(envelope <= total * 1.0001, "{scheme}: {envelope} > {total}");
+        assert!(
+            envelope > total * 0.90,
+            "{scheme}: envelope {envelope} vs {total}"
+        );
+    }
+    // Without timelines there is no trace.
+    let bare = Scenario::new(Scheme::Baseline, catalog::apps(&[AppId::A2], 3))
+        .windows(1)
+        .seed(3)
+        .run();
+    assert!(bare.power_trace(&cal).is_none());
+}
+
+#[test]
+fn long_runs_are_stable() {
+    // Sixty windows: no drift, no QoS decay, energy scales linearly.
+    let short = Scenario::new(Scheme::Batching, catalog::apps(&[AppId::A2], 4))
+        .windows(5)
+        .seed(4)
+        .run();
+    let long = Scenario::new(Scheme::Batching, catalog::apps(&[AppId::A2], 4))
+        .windows(60)
+        .seed(4)
+        .run();
+    assert_eq!(long.qos_violations(), 0);
+    assert_eq!(long.app(AppId::A2).expect("ran").windows.len(), 60);
+    let per_window_short = short.total_energy().as_millijoules() / 5.0;
+    let per_window_long = long.total_energy().as_millijoules() / 60.0;
+    let drift = (per_window_long - per_window_short).abs() / per_window_short;
+    assert!(drift < 0.02, "per-window energy drifted {drift:.4}");
+}
+
+#[test]
+fn headline_savings_are_seed_stable() {
+    // The Figure 10 story must not depend on the noise seed.
+    let mut batching_savings = Vec::new();
+    let mut com_savings = Vec::new();
+    for seed in [11, 222, 3333] {
+        let base = Scenario::new(Scheme::Baseline, catalog::apps(&[AppId::A2], seed))
+            .windows(2)
+            .seed(seed)
+            .run();
+        let batch = Scenario::new(Scheme::Batching, catalog::apps(&[AppId::A2], seed))
+            .windows(2)
+            .seed(seed)
+            .run();
+        let com = Scenario::new(Scheme::Com, catalog::apps(&[AppId::A2], seed))
+            .windows(2)
+            .seed(seed)
+            .run();
+        batching_savings.push(batch.savings_vs(&base));
+        com_savings.push(com.savings_vs(&base));
+    }
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    assert!(
+        spread(&batching_savings) < 0.02,
+        "batching spread {batching_savings:?}"
+    );
+    assert!(spread(&com_savings) < 0.02, "com spread {com_savings:?}");
+}
