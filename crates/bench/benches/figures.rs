@@ -1,39 +1,30 @@
-//! One Criterion bench per paper table/figure: times a full reproduction
-//! of each experiment (scenario runs + analysis) at the quick
-//! configuration, so regressions in the simulator's hot paths show up per
-//! experiment.
+//! One bench per paper table/figure: times a full reproduction of each
+//! experiment (scenario runs + analysis) at the quick configuration, so
+//! regressions in the simulator's hot paths show up per experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use iotse_bench::config::ExperimentConfig;
 use iotse_bench::figures::{
     fig01, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, tables,
 };
+use iotse_bench::stopwatch::bench;
 
 fn cfg() -> ExperimentConfig {
     ExperimentConfig::quick()
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.bench_function("fig01_idle_vs_baseline", |b| b.iter(|| fig01::run(&cfg())));
-    g.bench_function("fig03_sc_m2x_beam", |b| b.iter(|| fig03::run(&cfg())));
-    g.bench_function("fig04_transfer_split", |b| b.iter(|| fig04::run(&cfg())));
-    g.bench_function("fig05_power_states", |b| b.iter(|| fig05::run(&cfg())));
-    g.bench_function("fig06_resources", |b| b.iter(|| fig06::run(&cfg())));
-    g.bench_function("fig07_sc_batching", |b| b.iter(|| fig07::run(&cfg())));
-    g.bench_function("fig08_sc_timing", |b| b.iter(|| fig08::run(&cfg())));
-    g.bench_function("fig09_sc_three_schemes", |b| b.iter(|| fig09::run(&cfg())));
-    g.bench_function("fig10_single_app_matrix", |b| b.iter(|| fig10::run(&cfg())));
-    g.bench_function("fig11_multi_app_matrix", |b| b.iter(|| fig11::run(&cfg())));
-    g.bench_function("fig12_heavy_weight", |b| b.iter(|| fig12::run(&cfg())));
-    g.bench_function("fig13_speedups", |b| b.iter(|| fig13::run(&cfg())));
-    g.bench_function("table1_sensors", |b| b.iter(tables::table1));
-    g.bench_function("table2_workloads", |b| b.iter(|| tables::table2(&cfg())));
-    g.finish();
+fn main() {
+    bench("figures", "fig01_idle_vs_baseline", || fig01::run(&cfg()));
+    bench("figures", "fig03_sc_m2x_beam", || fig03::run(&cfg()));
+    bench("figures", "fig04_transfer_split", || fig04::run(&cfg()));
+    bench("figures", "fig05_power_states", || fig05::run(&cfg()));
+    bench("figures", "fig06_resources", || fig06::run(&cfg()));
+    bench("figures", "fig07_sc_batching", || fig07::run(&cfg()));
+    bench("figures", "fig08_sc_timing", || fig08::run(&cfg()));
+    bench("figures", "fig09_sc_three_schemes", || fig09::run(&cfg()));
+    bench("figures", "fig10_single_app_matrix", || fig10::run(&cfg()));
+    bench("figures", "fig11_multi_app_matrix", || fig11::run(&cfg()));
+    bench("figures", "fig12_heavy_weight", || fig12::run(&cfg()));
+    bench("figures", "fig13_speedups", || fig13::run(&cfg()));
+    bench("figures", "table1_sensors", tables::table1);
+    bench("figures", "table2_workloads", || tables::table2(&cfg()));
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

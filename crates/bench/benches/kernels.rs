@@ -1,8 +1,8 @@
 //! Microbenchmarks of the application kernels — the computations whose
 //! CPU/MCU placement the paper's COM scheme trades off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use iotse_apps::kernels::{coap, fingermatch, jpeg, json, qrs, speech, stalta, stepcount, sync};
+use iotse_bench::stopwatch::bench;
 use iotse_sensors::signal::ecg::{EcgGenerator, EcgProfile};
 use iotse_sensors::signal::fingerprint::{FingerTemplate, FingerprintScanner};
 use iotse_sensors::signal::gait::{GaitGenerator, GaitProfile};
@@ -10,55 +10,45 @@ use iotse_sensors::signal::image::ImageGenerator;
 use iotse_sim::rng::SeedTree;
 use iotse_sim::time::SimTime;
 
-fn bench_dsp(c: &mut Criterion) {
+fn bench_dsp() {
     let seeds = SeedTree::new(1);
-    let mut g = c.benchmark_group("dsp");
 
     let mut gait = GaitGenerator::new(&seeds, GaitProfile::default());
     let accel: Vec<[f64; 3]> = (0..1000)
         .map(|ms| gait.sample_triple(SimTime::from_millis(ms)))
         .collect();
-    g.bench_function("stepcount_window", |b| {
-        b.iter(|| stepcount::count_steps(&accel, &stepcount::StepConfig::default()))
+    bench("dsp", "stepcount_window", || {
+        stepcount::count_steps(&accel, &stepcount::StepConfig::default())
     });
 
-    g.bench_function("stalta_window", |b| {
-        b.iter_batched(
-            || stalta::StaLta::new(stalta::StaLtaConfig::default()),
-            |mut d| d.process_window(&accel),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("dsp", "stalta_window", || {
+        let mut d = stalta::StaLta::new(stalta::StaLtaConfig::default());
+        d.process_window(&accel)
     });
 
     let ecg = EcgGenerator::new(&seeds, EcgProfile::default(), SimTime::from_secs(2));
     let pulse: Vec<f64> = (0..1000)
         .map(|ms| ecg.value_at(SimTime::from_millis(ms)))
         .collect();
-    g.bench_function("qrs_window", |b| {
-        b.iter_batched(
-            || qrs::QrsDetector::new(qrs::QrsConfig::default()),
-            |mut d| d.process_window(&pulse),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("dsp", "qrs_window", || {
+        let mut d = qrs::QrsDetector::new(qrs::QrsConfig::default());
+        d.process_window(&pulse)
     });
-    g.finish();
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn bench_codecs() {
     let seeds = SeedTree::new(2);
-    let mut g = c.benchmark_group("codecs");
-
     let mut cam = ImageGenerator::new(&seeds, 104, 78);
     let luma = cam.frame(0).luma();
-    g.bench_function("jpeg_encode_lowres", |b| {
-        b.iter(|| jpeg::encode(&luma, 104, 78, 85))
+    bench("codecs", "jpeg_encode_lowres", || {
+        jpeg::encode(&luma, 104, 78, 85)
     });
     let encoded = jpeg::encode(&luma, 104, 78, 85);
-    g.bench_function("jpeg_decode_lowres", |b| {
-        b.iter(|| jpeg::decode(&encoded).expect("ok"))
+    bench("codecs", "jpeg_decode_lowres", || {
+        jpeg::decode(&encoded).expect("ok")
     });
     let block = [42.0f64; 64];
-    g.bench_function("idct_block", |b| b.iter(|| jpeg::idct(&block)));
+    bench("codecs", "idct_block", || jpeg::idct(&block));
 
     let doc = json::Json::array((0..100).map(|i| {
         json::Json::object([
@@ -67,23 +57,21 @@ fn bench_codecs(c: &mut Criterion) {
         ])
     }));
     let text = doc.to_text();
-    g.bench_function("json_serialize_100", |b| b.iter(|| doc.to_text()));
-    g.bench_function("json_parse_100", |b| {
-        b.iter(|| json::Json::parse(&text).expect("ok"))
+    bench("codecs", "json_serialize_100", || doc.to_text());
+    bench("codecs", "json_parse_100", || {
+        json::Json::parse(&text).expect("ok")
     });
 
     let msg = coap::CoapMessage::content(7, &[1, 2], text.clone().into_bytes());
     let wire = msg.encode();
-    g.bench_function("coap_encode", |b| b.iter(|| msg.encode()));
-    g.bench_function("coap_decode", |b| {
-        b.iter(|| coap::CoapMessage::decode(&wire).expect("ok"))
+    bench("codecs", "coap_encode", || msg.encode());
+    bench("codecs", "coap_decode", || {
+        coap::CoapMessage::decode(&wire).expect("ok")
     });
-    g.finish();
 }
 
-fn bench_matchers(c: &mut Criterion) {
+fn bench_matchers() {
     let seeds = SeedTree::new(3);
-    let mut g = c.benchmark_group("matchers");
 
     let mut db = fingermatch::FingerDb::new(fingermatch::MatchConfig::default());
     for p in 0..4 {
@@ -91,24 +79,26 @@ fn bench_matchers(c: &mut Criterion) {
     }
     let mut scanner = FingerprintScanner::new(&seeds);
     let scan = scanner.scan(2);
-    g.bench_function("finger_identify", |b| {
-        b.iter(|| db.identify(&scan.minutiae))
+    bench("matchers", "finger_identify", || {
+        db.identify(&scan.minutiae)
     });
 
     let spotter = speech::KeywordSpotter::new(1000.0);
     let audio: Vec<f64> = (0..1000)
         .map(|i| 512.0 + 150.0 * (f64::from(i as u32) * 0.9).sin())
         .collect();
-    g.bench_function("keyword_spot_window", |b| {
-        b.iter(|| spotter.recognize(&audio))
+    bench("matchers", "keyword_spot_window", || {
+        spotter.recognize(&audio)
     });
 
     let data: Vec<u8> = (0..12_000u32).map(|i| (i % 251) as u8).collect();
-    g.bench_function("chunk_12kb", |b| {
-        b.iter(|| sync::chunk(&data, &sync::ChunkConfig::default()))
+    bench("matchers", "chunk_12kb", || {
+        sync::chunk(&data, &sync::ChunkConfig::default())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_dsp, bench_codecs, bench_matchers);
-criterion_main!(benches);
+fn main() {
+    bench_dsp();
+    bench_codecs();
+    bench_matchers();
+}

@@ -1,73 +1,52 @@
 //! Simulator throughput benches: raw engine event rate and full scenario
 //! runs per scheme — the cost of reproducing one paper data point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotse_bench::stopwatch::bench;
 use iotse_core::{AppId, Scenario, Scheme};
 use iotse_sim::engine::Engine;
 use iotse_sim::time::{SimDuration, SimTime};
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.bench_function("schedule_and_drain_10k", |b| {
-        b.iter(|| {
-            let mut engine: Engine<u64> = Engine::new();
-            for i in 0..10_000u64 {
-                engine.schedule_at(SimTime::from_micros(i * 37 % 100_000), |count, _| {
-                    *count += 1;
-                });
-            }
-            let mut count = 0u64;
-            engine.run(&mut count);
-            assert_eq!(count, 10_000);
-            count
-        })
-    });
-    g.bench_function("self_rescheduling_chain_10k", |b| {
-        b.iter(|| {
-            fn tick(count: &mut u64, e: &mut Engine<u64>) {
+fn main() {
+    bench("engine", "schedule_and_drain_10k", || {
+        let mut engine: Engine<u64> = Engine::new();
+        for i in 0..10_000u64 {
+            engine.schedule_at(SimTime::from_micros(i * 37 % 100_000), |count, _| {
                 *count += 1;
-                if *count < 10_000 {
-                    e.schedule_in(SimDuration::from_micros(100), tick);
-                }
-            }
-            let mut engine: Engine<u64> = Engine::new();
-            engine.schedule_at(SimTime::ZERO, tick);
-            let mut count = 0u64;
-            engine.run(&mut count);
-            count
-        })
+            });
+        }
+        let mut count = 0u64;
+        engine.run(&mut count);
+        assert_eq!(count, 10_000);
+        count
     });
-    g.finish();
-}
-
-fn bench_scenarios(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scenario");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
+    bench("engine", "self_rescheduling_chain_10k", || {
+        fn tick(count: &mut u64, e: &mut Engine<u64>) {
+            *count += 1;
+            if *count < 10_000 {
+                e.schedule_in(SimDuration::from_micros(100), tick);
+            }
+        }
+        let mut engine: Engine<u64> = Engine::new();
+        engine.schedule_at(SimTime::ZERO, tick);
+        let mut count = 0u64;
+        engine.run(&mut count);
+        count
+    });
     for scheme in Scheme::ALL {
-        g.bench_function(format!("step_counter_{scheme}"), |b| {
-            b.iter(|| {
-                Scenario::new(scheme, iotse_apps::catalog::apps(&[AppId::A2], 42))
-                    .windows(2)
-                    .seed(42)
-                    .run()
-            })
+        bench("scenario", &format!("step_counter_{scheme}"), || {
+            Scenario::new(scheme, iotse_apps::catalog::apps(&[AppId::A2], 42))
+                .windows(2)
+                .seed(42)
+                .run()
         });
     }
-    g.bench_function("four_app_bcom", |b| {
-        b.iter(|| {
-            Scenario::new(
-                Scheme::Bcom,
-                iotse_apps::catalog::apps(&[AppId::A2, AppId::A4, AppId::A5, AppId::A7], 42),
-            )
-            .windows(2)
-            .seed(42)
-            .run()
-        })
+    bench("scenario", "four_app_bcom", || {
+        Scenario::new(
+            Scheme::Bcom,
+            iotse_apps::catalog::apps(&[AppId::A2, AppId::A4, AppId::A5, AppId::A7], 42),
+        )
+        .windows(2)
+        .seed(42)
+        .run()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_engine, bench_scenarios);
-criterion_main!(benches);

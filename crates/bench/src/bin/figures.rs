@@ -19,9 +19,9 @@ use iotse_bench::figures::{
     fig01, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, tables,
 };
 use iotse_bench::sweeps::{dma, dvfs, error_rate, mcu_speed, transition};
-use iotse_core::Scheme;
+use iotse_core::{Fleet, Scheme};
 
-const USAGE: &str = "usage: figures [--seed N] [--windows N] [--csv DIR] [TARGET...]
+const USAGE: &str = "usage: figures [--seed N] [--windows N] [--jobs N] [--csv DIR] [TARGET...]
        figures run --apps A2,A7 --scheme beam [--seed N] [--windows N]
 targets: all (default), fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
          fig10, fig11, fig12, fig13, table1, table2, experiments,
@@ -30,7 +30,9 @@ targets: all (default), fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
          trace --apps A2[,..] [--scheme S]";
 
 fn main() -> ExitCode {
-    let mut cfg = ExperimentConfig::default();
+    // Results are identical at any jobs level (see iotse_core::runner), so
+    // defaulting to all cores is safe; --jobs 1 restores serial execution.
+    let mut cfg = ExperimentConfig::default().with_jobs(Fleet::available_parallelism());
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut apps_arg: Option<String> = None;
@@ -51,6 +53,10 @@ fn main() -> ExitCode {
             "--windows" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(w) if w > 0 => cfg.windows = w,
                 _ => return fail("--windows needs a positive integer"),
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(j) if j > 0 => cfg.jobs = j,
+                _ => return fail("--jobs needs a positive integer"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -176,7 +182,11 @@ fn render(target: &str, cfg: &ExperimentConfig, csv_dir: Option<&std::path::Path
         "fig6" => println!("{}", fig06::run(cfg)),
         "fig7" => println!("{}", fig07::run(cfg)),
         "fig8" => println!("{}", fig08::run(cfg)),
-        "fig9" => println!("{}", fig09::run(cfg)),
+        "fig9" => {
+            let fig = fig09::run(cfg);
+            println!("{fig}");
+            csv_out = Some(("fig09".into(), csv::fig09_csv(&fig)));
+        }
         "fig10" => {
             let fig = fig10::run(cfg);
             println!("{fig}");

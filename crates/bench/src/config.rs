@@ -1,17 +1,20 @@
 //! Shared experiment configuration.
 
 use iotse_apps::catalog;
+use iotse_core::runner::Fleet;
 use iotse_core::{AppId, RunResult, Scenario, Scheme};
 use iotse_sensors::world::WorldConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration shared by every figure/table reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentConfig {
     /// The experiment seed (printed with every figure for replayability).
     pub seed: u64,
     /// Number of 1-second windows per scenario run.
     pub windows: u32,
+    /// Worker threads for fleet execution (1 = fully sequential). Results
+    /// are bitwise identical at any level — see `iotse_core::runner`.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -19,6 +22,7 @@ impl Default for ExperimentConfig {
         ExperimentConfig {
             seed: 42,
             windows: 5,
+            jobs: 1,
         }
     }
 }
@@ -28,28 +32,66 @@ impl ExperimentConfig {
     #[must_use]
     pub fn quick() -> Self {
         ExperimentConfig {
-            seed: 42,
             windows: 2,
+            ..ExperimentConfig::default()
         }
+    }
+
+    /// This configuration with `jobs` worker threads.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Builds an un-run scenario for `apps` under `scheme`.
+    #[must_use]
+    pub fn scenario(&self, scheme: Scheme, apps: &[AppId]) -> Scenario {
+        Scenario::new(scheme, catalog::apps(apps, self.seed))
+            .windows(self.windows)
+            .seed(self.seed)
+    }
+
+    /// Builds an un-run scenario for `apps` under `scheme` in `world`.
+    #[must_use]
+    pub fn scenario_in_world(
+        &self,
+        scheme: Scheme,
+        apps: &[AppId],
+        world: WorldConfig,
+    ) -> Scenario {
+        self.scenario(scheme, apps).world(world)
+    }
+
+    /// Runs a fleet of scenarios on `self.jobs` threads; results come back
+    /// in submission order regardless of completion order.
+    #[must_use]
+    pub fn run_fleet(&self, scenarios: Vec<Scenario>) -> Vec<RunResult> {
+        Fleet::new(self.jobs).run(scenarios)
     }
 
     /// Runs `apps` under `scheme` with this configuration.
     #[must_use]
     pub fn run(&self, scheme: Scheme, apps: &[AppId]) -> RunResult {
-        Scenario::new(scheme, catalog::apps(apps, self.seed))
-            .windows(self.windows)
-            .seed(self.seed)
-            .run()
+        self.scenario(scheme, apps).run()
+    }
+
+    /// Runs a batch of `(scheme, apps)` cells on the fleet, one result per
+    /// cell in order.
+    #[must_use]
+    pub fn run_cells(&self, cells: &[(Scheme, &[AppId])]) -> Vec<RunResult> {
+        self.run_fleet(
+            cells
+                .iter()
+                .map(|&(scheme, apps)| self.scenario(scheme, apps))
+                .collect(),
+        )
     }
 
     /// Runs `apps` under `scheme` with a customized world.
     #[must_use]
     pub fn run_in_world(&self, scheme: Scheme, apps: &[AppId], world: WorldConfig) -> RunResult {
-        Scenario::new(scheme, catalog::apps(apps, self.seed))
-            .windows(self.windows)
-            .seed(self.seed)
-            .world(world)
-            .run()
+        self.scenario_in_world(scheme, apps, world).run()
     }
 }
 

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use crate::figures::{fig01, fig10, fig11, fig12, fig13, tables};
+use crate::figures::{fig01, fig09, fig10, fig11, fig12, fig13, tables};
 use crate::sweeps::{dma, dvfs, error_rate, mcu_speed, transition};
 
 /// Serializes one table: a header row and data rows, RFC-4180-ish quoting.
@@ -54,6 +54,36 @@ pub fn fig01_csv(fig: &fig01::Fig01) -> String {
     ]);
     rows.push(vec!["idle".into(), format!("{:.4}", fig.idle_watts)]);
     render(&["scenario", "power_w"], &rows)
+}
+
+/// Figure 9 as CSV.
+#[must_use]
+pub fn fig09_csv(fig: &fig09::Fig09) -> String {
+    let rows = fig
+        .bars
+        .iter()
+        .map(|(scheme, b)| {
+            vec![
+                scheme.to_string(),
+                format!("{:.3}", b.data_collection.as_millijoules()),
+                format!("{:.3}", b.interrupt.as_millijoules()),
+                format!("{:.3}", b.data_transfer.as_millijoules()),
+                format!("{:.3}", b.app_compute.as_millijoules()),
+                format!("{:.3}", b.total().as_millijoules()),
+            ]
+        })
+        .collect::<Vec<_>>();
+    render(
+        &[
+            "scheme",
+            "collection_mj",
+            "interrupt_mj",
+            "transfer_mj",
+            "compute_mj",
+            "total_mj",
+        ],
+        &rows,
+    )
 }
 
 /// Figure 10 as CSV.

@@ -5,12 +5,11 @@ use std::fmt;
 
 use iotse_core::{AppId, Scenario, Scheme};
 use iotse_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Figure 1 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig01 {
     /// Average power of each A1–A10 Baseline run, watts.
     pub per_app_watts: Vec<(AppId, f64)>,
@@ -28,18 +27,23 @@ impl Fig01 {
     }
 }
 
-/// Reproduces Figure 1.
+/// Reproduces Figure 1. The idle run and the ten per-app baselines run as
+/// one fleet on `cfg.jobs` threads.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig01 {
-    let idle = Scenario::idle(SimDuration::from_secs(u64::from(cfg.windows)))
-        .seed(cfg.seed)
-        .run();
+    let mut scenarios =
+        vec![Scenario::idle(SimDuration::from_secs(u64::from(cfg.windows))).seed(cfg.seed)];
+    scenarios.extend(
+        AppId::LIGHT
+            .iter()
+            .map(|&id| cfg.scenario(Scheme::Baseline, &[id])),
+    );
+    let mut results = cfg.run_fleet(scenarios).into_iter();
+    let idle = results.next().expect("idle ran");
     let per_app_watts: Vec<(AppId, f64)> = AppId::LIGHT
         .iter()
-        .map(|&id| {
-            let r = cfg.run(Scheme::Baseline, &[id]);
-            (id, r.average_power().as_watts())
-        })
+        .zip(results)
+        .map(|(&id, r)| (id, r.average_power().as_watts()))
         .collect();
     let baseline_watts =
         per_app_watts.iter().map(|&(_, w)| w).sum::<f64>() / per_app_watts.len() as f64;

@@ -10,12 +10,11 @@ use std::fmt;
 use iotse_core::{AppId, Scheme};
 use iotse_energy::attribution::Breakdown;
 use iotse_energy::report::{breakdown_chart, BreakdownRow};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Figure 3 result: four labeled breakdowns (energy per window, mJ).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig03 {
     /// `(label, breakdown)` in figure order.
     pub bars: Vec<(String, Breakdown)>,
@@ -26,10 +25,15 @@ pub struct Fig03 {
 /// Reproduces Figure 3.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig03 {
-    let sc = cfg.run(Scheme::Baseline, &[AppId::A2]);
-    let m2x = cfg.run(Scheme::Baseline, &[AppId::A4]);
-    let both = cfg.run(Scheme::Baseline, &[AppId::A2, AppId::A4]);
-    let beam = cfg.run(Scheme::Beam, &[AppId::A2, AppId::A4]);
+    let [sc, m2x, both, beam]: [_; 4] = cfg
+        .run_cells(&[
+            (Scheme::Baseline, &[AppId::A2]),
+            (Scheme::Baseline, &[AppId::A4]),
+            (Scheme::Baseline, &[AppId::A2, AppId::A4]),
+            (Scheme::Beam, &[AppId::A2, AppId::A4]),
+        ])
+        .try_into()
+        .expect("four cells");
     let beam_saving = beam.savings_vs(&both);
     let per_window = |b: Breakdown| -> Breakdown {
         Breakdown {

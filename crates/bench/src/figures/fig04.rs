@@ -12,12 +12,11 @@ use std::fmt;
 use iotse_core::calibration::Calibration;
 use iotse_core::{AppId, Scheme};
 use iotse_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Figure 4 result: shares of transfer-interval energy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig04 {
     /// Total time the bus was driven.
     pub transfer_busy: SimDuration,

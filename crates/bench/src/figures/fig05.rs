@@ -8,7 +8,6 @@ use iotse_core::cpu::CpuPhase;
 use iotse_core::mcu::McuPhase;
 use iotse_core::{AppId, Scenario, Scheme};
 use iotse_sim::time::SimTime;
-use serde::Serialize;
 
 use crate::config::ExperimentConfig;
 
@@ -16,7 +15,7 @@ use crate::config::ExperimentConfig;
 pub type Timeline = Vec<(SimTime, &'static str)>;
 
 /// The Figure 5 result.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig05 {
     /// Run length represented by the timelines.
     pub horizon: SimTime,
@@ -37,15 +36,16 @@ pub struct Fig05 {
 /// Reproduces Figure 5 (single step-counter app, timeline recording on).
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig05 {
-    let run_one = |scheme: Scheme| {
+    let scenario = |scheme: Scheme| {
         Scenario::new(scheme, iotse_apps::catalog::apps(&[AppId::A2], cfg.seed))
             .windows(cfg.windows)
             .seed(cfg.seed)
             .with_timeline()
-            .run()
     };
-    let baseline = run_one(Scheme::Baseline);
-    let batching = run_one(Scheme::Batching);
+    let [baseline, batching]: [_; 2] = cfg
+        .run_fleet(vec![scenario(Scheme::Baseline), scenario(Scheme::Batching)])
+        .try_into()
+        .expect("two scenarios");
     let cpu_names = |tl: &[(SimTime, CpuPhase)]| -> Timeline {
         tl.iter().map(|&(t, p)| (t, p.name())).collect()
     };

@@ -4,12 +4,11 @@ use std::fmt;
 
 use iotse_core::AppId;
 use iotse_energy::report::value_chart;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// One Figure 6 row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig06Row {
     /// The app.
     pub id: AppId,
@@ -22,7 +21,7 @@ pub struct Fig06Row {
 }
 
 /// The Figure 6 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig06 {
     /// A1–A10 rows.
     pub rows: Vec<Fig06Row>,

@@ -6,12 +6,11 @@ use std::fmt;
 use iotse_core::{AppId, Scheme};
 use iotse_energy::attribution::Breakdown;
 use iotse_energy::report::{breakdown_chart, BreakdownRow};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Figure 7 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig07 {
     /// Baseline breakdown.
     pub baseline: Breakdown,
@@ -36,8 +35,13 @@ impl Fig07 {
 /// Reproduces Figure 7.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig07 {
-    let baseline = cfg.run(Scheme::Baseline, &[AppId::A2]);
-    let batching = cfg.run(Scheme::Batching, &[AppId::A2]);
+    let [baseline, batching]: [_; 2] = cfg
+        .run_cells(&[
+            (Scheme::Baseline, &[AppId::A2]),
+            (Scheme::Batching, &[AppId::A2]),
+        ])
+        .try_into()
+        .expect("two cells");
     Fig07 {
         baseline: baseline.breakdown(),
         batching: batching.breakdown(),

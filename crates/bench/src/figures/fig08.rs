@@ -7,12 +7,11 @@ use std::fmt;
 
 use iotse_core::result::RoutineDurations;
 use iotse_core::{AppId, Scheme};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Figure 8 result: mean per-window routine durations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig08 {
     /// Baseline routine durations.
     pub baseline: RoutineDurations,
@@ -32,8 +31,13 @@ impl Fig08 {
 /// Reproduces Figure 8.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig08 {
-    let baseline = cfg.run(Scheme::Baseline, &[AppId::A2]);
-    let com = cfg.run(Scheme::Com, &[AppId::A2]);
+    let [baseline, com]: [_; 2] = cfg
+        .run_cells(&[
+            (Scheme::Baseline, &[AppId::A2]),
+            (Scheme::Com, &[AppId::A2]),
+        ])
+        .try_into()
+        .expect("two cells");
     Fig08 {
         baseline: baseline.app(AppId::A2).expect("ran").mean_routines(),
         com: com.app(AppId::A2).expect("ran").mean_routines(),

@@ -6,12 +6,11 @@ use std::fmt;
 use iotse_core::{AppId, Scheme};
 use iotse_energy::attribution::Breakdown;
 use iotse_energy::report::{breakdown_chart, BreakdownRow};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Figure 9 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig09 {
     /// `(scheme, breakdown)` for Baseline, Batching, COM.
     pub bars: Vec<(Scheme, Breakdown)>,
@@ -35,9 +34,16 @@ impl Fig09 {
 /// Reproduces Figure 9.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig09 {
+    let results = cfg.run_fleet(
+        Scheme::SINGLE_APP
+            .iter()
+            .map(|&scheme| cfg.scenario(scheme, &[AppId::A2]))
+            .collect(),
+    );
     let bars = Scheme::SINGLE_APP
         .iter()
-        .map(|&scheme| (scheme, cfg.run(scheme, &[AppId::A2]).breakdown()))
+        .zip(results)
+        .map(|(&scheme, r)| (scheme, r.breakdown()))
         .collect();
     Fig09 { bars }
 }

@@ -7,12 +7,11 @@ use std::fmt;
 use iotse_core::{AppId, Scheme};
 use iotse_energy::attribution::Breakdown;
 use iotse_energy::report::{breakdown_chart, BreakdownRow};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// One app's three bars.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig10Row {
     /// The app.
     pub id: AppId,
@@ -39,7 +38,7 @@ impl Fig10Row {
 }
 
 /// The Figure 10 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig10 {
     /// A1–A10 rows.
     pub rows: Vec<Fig10Row>,
@@ -59,16 +58,33 @@ impl Fig10 {
     }
 }
 
-/// Reproduces Figure 10.
+/// Reproduces Figure 10. The 30 scenarios (10 apps × 3 schemes) run as one
+/// fleet on `cfg.jobs` threads.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig10 {
+    let cells: Vec<_> = AppId::LIGHT
+        .iter()
+        .flat_map(|&id| {
+            [Scheme::Baseline, Scheme::Batching, Scheme::Com]
+                .into_iter()
+                .map(move |scheme| (scheme, id))
+        })
+        .collect();
+    let mut results = cfg
+        .run_fleet(
+            cells
+                .iter()
+                .map(|&(scheme, id)| cfg.scenario(scheme, &[id]))
+                .collect(),
+        )
+        .into_iter();
     let rows = AppId::LIGHT
         .iter()
         .map(|&id| Fig10Row {
             id,
-            baseline: cfg.run(Scheme::Baseline, &[id]).breakdown(),
-            batching: cfg.run(Scheme::Batching, &[id]).breakdown(),
-            com: cfg.run(Scheme::Com, &[id]).breakdown(),
+            baseline: results.next().expect("baseline ran").breakdown(),
+            batching: results.next().expect("batching ran").breakdown(),
+            com: results.next().expect("com ran").breakdown(),
         })
         .collect();
     Fig10 { rows }

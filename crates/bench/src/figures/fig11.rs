@@ -6,12 +6,11 @@ use std::fmt;
 
 use iotse_core::{AppId, Scheme};
 use iotse_energy::attribution::Breakdown;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// One combination's results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11Row {
     /// The apps run concurrently.
     pub combo: Vec<AppId>,
@@ -48,7 +47,7 @@ impl Fig11Row {
 }
 
 /// The Figure 11 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11 {
     /// The 14 combination rows, in the paper's order.
     pub rows: Vec<Fig11Row>,
@@ -68,15 +67,29 @@ impl Fig11 {
     }
 }
 
-/// Reproduces Figure 11.
+/// Reproduces Figure 11. The 42 scenarios (14 combinations × 3 schemes)
+/// run as one fleet on `cfg.jobs` threads.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig11 {
-    let rows = iotse_apps::figure11_combinations()
+    let combos = iotse_apps::figure11_combinations();
+    let mut results = cfg
+        .run_fleet(
+            combos
+                .iter()
+                .flat_map(|combo| {
+                    [Scheme::Baseline, Scheme::Beam, Scheme::Bcom]
+                        .into_iter()
+                        .map(|scheme| cfg.scenario(scheme, combo))
+                })
+                .collect(),
+        )
+        .into_iter();
+    let rows = combos
         .into_iter()
         .map(|combo| Fig11Row {
-            baseline: cfg.run(Scheme::Baseline, &combo).breakdown(),
-            beam: cfg.run(Scheme::Beam, &combo).breakdown(),
-            bcom: cfg.run(Scheme::Bcom, &combo).breakdown(),
+            baseline: results.next().expect("baseline ran").breakdown(),
+            beam: results.next().expect("beam ran").breakdown(),
+            bcom: results.next().expect("bcom ran").breakdown(),
             combo,
         })
         .collect();

@@ -6,12 +6,11 @@ use std::fmt;
 
 use iotse_core::{AppId, Scheme};
 use iotse_energy::attribution::Breakdown;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// One scenario panel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig12Panel {
     /// The apps run concurrently.
     pub combo: Vec<AppId>,
@@ -40,7 +39,7 @@ impl Fig12Panel {
 }
 
 /// The Figure 12 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig12 {
     /// Panels (a), (b), (c).
     pub panels: Vec<Fig12Panel>,
@@ -49,32 +48,40 @@ pub struct Fig12 {
 /// Reproduces Figure 12.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig12 {
-    let alone = Fig12Panel {
-        combo: vec![AppId::A11],
-        bars: [Scheme::Baseline, Scheme::Batching]
-            .iter()
-            .map(|&s| (s, cfg.run(s, &[AppId::A11]).breakdown()))
-            .collect(),
-    };
-    let multi = |combo: Vec<AppId>| Fig12Panel {
-        bars: [
-            Scheme::Baseline,
-            Scheme::Beam,
-            Scheme::Batching,
-            Scheme::Bcom,
-        ]
-        .iter()
-        .map(|&s| (s, cfg.run(s, &combo).breakdown()))
-        .collect(),
-        combo,
-    };
-    Fig12 {
-        panels: vec![
-            alone,
-            multi(vec![AppId::A11, AppId::A6]),
-            multi(vec![AppId::A11, AppId::A6, AppId::A1]),
-        ],
-    }
+    const MULTI_SCHEMES: [Scheme; 4] = [
+        Scheme::Baseline,
+        Scheme::Beam,
+        Scheme::Batching,
+        Scheme::Bcom,
+    ];
+    // (combo, schemes) per panel; all ten scenarios run as one fleet.
+    let panels_spec: Vec<(Vec<AppId>, Vec<Scheme>)> = vec![
+        (vec![AppId::A11], vec![Scheme::Baseline, Scheme::Batching]),
+        (vec![AppId::A11, AppId::A6], MULTI_SCHEMES.to_vec()),
+        (
+            vec![AppId::A11, AppId::A6, AppId::A1],
+            MULTI_SCHEMES.to_vec(),
+        ),
+    ];
+    let mut results = cfg
+        .run_fleet(
+            panels_spec
+                .iter()
+                .flat_map(|(combo, schemes)| schemes.iter().map(|&s| cfg.scenario(s, combo)))
+                .collect(),
+        )
+        .into_iter();
+    let panels = panels_spec
+        .into_iter()
+        .map(|(combo, schemes)| Fig12Panel {
+            bars: schemes
+                .into_iter()
+                .map(|s| (s, results.next().expect("scenario ran").breakdown()))
+                .collect(),
+            combo,
+        })
+        .collect();
+    Fig12 { panels }
 }
 
 impl fmt::Display for Fig12 {

@@ -5,12 +5,11 @@ use std::fmt;
 
 use iotse_core::{AppId, Scheme};
 use iotse_energy::report::value_chart;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Figure 13 result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig13 {
     /// `(app, speedup)` in app order.
     pub speedups: Vec<(AppId, f64)>,
@@ -36,11 +35,23 @@ impl Fig13 {
 /// Reproduces Figure 13.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Fig13 {
+    let mut results = cfg
+        .run_fleet(
+            AppId::LIGHT
+                .iter()
+                .flat_map(|&id| {
+                    [Scheme::Baseline, Scheme::Com]
+                        .into_iter()
+                        .map(move |scheme| cfg.scenario(scheme, &[id]))
+                })
+                .collect(),
+        )
+        .into_iter();
     let speedups = AppId::LIGHT
         .iter()
         .map(|&id| {
-            let baseline = cfg.run(Scheme::Baseline, &[id]);
-            let com = cfg.run(Scheme::Com, &[id]);
+            let baseline = results.next().expect("baseline ran");
+            let com = results.next().expect("com ran");
             (id, com.speedup_vs(&baseline, id).expect("both ran"))
         })
         .collect();

@@ -8,12 +8,11 @@
 use std::fmt;
 
 use iotse_core::{AppId, Scheme};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// The Table I result (a formatted view over the catalog).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
     /// Formatted rows.
     pub rows: Vec<String>,
@@ -55,7 +54,7 @@ impl fmt::Display for Table1 {
 }
 
 /// One measured Table II row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// The app.
     pub id: AppId,
@@ -72,7 +71,7 @@ pub struct Table2Row {
 }
 
 /// The Table II result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2 {
     /// A1–A11 rows.
     pub rows: Vec<Table2Row>,
@@ -83,14 +82,20 @@ pub struct Table2 {
 #[must_use]
 pub fn table2(cfg: &ExperimentConfig) -> Table2 {
     let one_window = ExperimentConfig { windows: 1, ..*cfg };
+    let results = one_window.run_fleet(
+        AppId::ALL
+            .iter()
+            .map(|&id| one_window.scenario(Scheme::Baseline, &[id]))
+            .collect(),
+    );
     let rows = AppId::ALL
         .iter()
-        .map(|&id| {
+        .zip(results)
+        .map(|(&id, r)| {
             let app = iotse_apps::catalog::app(id, cfg.seed);
             let declared_kb = iotse_core::workload::window_bytes(app.as_ref()) as f64 / 1024.0;
             let sensors = app.sensors().iter().map(|u| u.sensor.to_string()).collect();
             let name = app.name().to_string();
-            let r = one_window.run(Scheme::Baseline, &[id]);
             Table2Row {
                 id,
                 name,

@@ -21,6 +21,7 @@
 pub mod config;
 pub mod csv;
 pub mod figures;
+pub mod stopwatch;
 pub mod sweeps;
 
 pub use config::ExperimentConfig;

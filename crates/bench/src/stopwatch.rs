@@ -1,0 +1,36 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The workspace is `std`-only (the container has no registry access), so
+//! the `benches/` targets time themselves with [`std::time::Instant`]
+//! instead of Criterion: warm up, run until a time budget or iteration cap
+//! is hit, and report the median — robust enough to spot hot-path
+//! regressions without statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// How long one benchmark is allowed to sample for.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Minimum and maximum sample counts.
+const MIN_ITERS: usize = 10;
+const MAX_ITERS: usize = 10_000;
+
+/// Times `f` and prints `group/name: median … (n=…)`.
+pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while (start.elapsed() < BUDGET || times.len() < MIN_ITERS) && times.len() < MAX_ITERS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "{group}/{name}: median {median:?} (n={}, total {:?})",
+        times.len(),
+        start.elapsed()
+    );
+}

@@ -11,12 +11,11 @@ use std::fmt;
 
 use iotse_core::calibration::Calibration;
 use iotse_core::{AppId, Scenario, Scheme};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
 /// One scenario × scheme pair, with and without DMA.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DmaPoint {
     /// Scenario label.
     pub label: String,
@@ -37,7 +36,7 @@ impl DmaPoint {
 }
 
 /// The DMA experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DmaSweep {
     /// All points.
     pub points: Vec<DmaPoint>,
@@ -47,23 +46,36 @@ pub struct DmaSweep {
 /// and the paper's mixed heavy scenario (A11+A6).
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> DmaSweep {
-    let mut points = Vec::new();
-    let scenarios: [(&str, &[AppId]); 3] = [
+    let cells: [(&str, &[AppId]); 3] = [
         ("A2", &[AppId::A2]),
         ("A11", &[AppId::A11]),
         ("A11+A6", &[AppId::A11, AppId::A6]),
     ];
-    for (label, apps) in scenarios {
+    // 3 scenarios × 3 schemes × {no-DMA, DMA} = 18 runs, one fleet.
+    let mut results = cfg
+        .run_fleet(
+            cells
+                .iter()
+                .flat_map(|&(_, apps)| {
+                    [Scheme::Baseline, Scheme::Batching, Scheme::Bcom]
+                        .into_iter()
+                        .flat_map(move |scheme| {
+                            [Calibration::paper(), Calibration::paper().with_dma()].map(|cal| {
+                                Scenario::new(scheme, iotse_apps::catalog::apps(apps, cfg.seed))
+                                    .windows(cfg.windows)
+                                    .seed(cfg.seed)
+                                    .calibration(cal)
+                            })
+                        })
+                })
+                .collect(),
+        )
+        .into_iter();
+    let mut points = Vec::new();
+    for (label, _) in cells {
         for scheme in [Scheme::Baseline, Scheme::Batching, Scheme::Bcom] {
-            let run_with = |cal: Calibration| {
-                Scenario::new(scheme, iotse_apps::catalog::apps(apps, cfg.seed))
-                    .windows(cfg.windows)
-                    .seed(cfg.seed)
-                    .calibration(cal)
-                    .run()
-            };
-            let without = run_with(Calibration::paper());
-            let with = run_with(Calibration::paper().with_dma());
+            let without = results.next().expect("no-DMA ran");
+            let with = results.next().expect("DMA ran");
             points.push(DmaPoint {
                 label: label.to_string(),
                 scheme,

@@ -12,7 +12,6 @@ use iotse_core::calibration::Calibration;
 use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};
 use iotse_core::{Scenario, Scheme};
 use iotse_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
@@ -66,7 +65,7 @@ pub fn scaled_active_power_w(speed: f64) -> f64 {
 }
 
 /// One sweep point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsPoint {
     /// Clock scale.
     pub speed: f64,
@@ -79,7 +78,7 @@ pub struct DvfsPoint {
 }
 
 /// The sweep result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsSweep {
     /// One point per speed.
     pub points: Vec<DvfsPoint>,
@@ -99,12 +98,12 @@ impl DvfsSweep {
 /// Runs the sweep (A8 under Batching — the most compute-bound light app).
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> DvfsSweep {
-    let points = SPEEDS
+    // One scenario per operating point, all run as one fleet.
+    let scenarios = SPEEDS
         .iter()
         .map(|&speed| {
             let mut cal = Calibration::paper();
-            let active = scaled_active_power_w(speed);
-            cal.cpu_active = iotse_energy::Power::from_watts(active);
+            cal.cpu_active = iotse_energy::Power::from_watts(scaled_active_power_w(speed));
             // Keep the break-even consistent with the new active power.
             let implied = cal.transition_energy().as_joules()
                 / (cal.cpu_active - cal.cpu_sleep).as_watts().max(0.1);
@@ -113,17 +112,20 @@ pub fn run(cfg: &ExperimentConfig) -> DvfsSweep {
                 inner: iotse_apps::catalog::app(AppId::A8, cfg.seed),
                 speed,
             };
-            let r = Scenario::new(Scheme::Batching, vec![Box::new(app)])
+            Scenario::new(Scheme::Batching, vec![Box::new(app)])
                 .windows(cfg.windows)
                 .seed(cfg.seed)
                 .calibration(cal)
-                .run();
-            DvfsPoint {
-                speed,
-                active_w: active,
-                energy_mj: r.total_energy().as_millijoules(),
-                qos_violations: r.qos_violations(),
-            }
+        })
+        .collect();
+    let points = SPEEDS
+        .iter()
+        .zip(cfg.run_fleet(scenarios))
+        .map(|(&speed, r)| DvfsPoint {
+            speed,
+            active_w: scaled_active_power_w(speed),
+            energy_mj: r.total_energy().as_millijoules(),
+            qos_violations: r.qos_violations(),
         })
         .collect();
     DvfsSweep { points }

@@ -10,7 +10,6 @@ use std::fmt;
 
 use iotse_core::{AppId, AppOutput, Scenario, Scheme};
 use iotse_sensors::world::WorldConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
@@ -18,7 +17,7 @@ use crate::config::ExperimentConfig;
 pub const RATES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
 
 /// One sweep point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorPoint {
     /// Injected Task-I failure probability.
     pub rate: f64,
@@ -33,7 +32,7 @@ pub struct ErrorPoint {
 }
 
 /// The sweep result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ErrorSweep {
     /// One point per rate.
     pub points: Vec<ErrorPoint>,
@@ -42,21 +41,27 @@ pub struct ErrorSweep {
 /// Runs the sweep on the step counter under Batching.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> ErrorSweep {
-    let points = RATES
+    // One scenario per error rate, all run as one fleet.
+    let scenarios = RATES
         .iter()
         .map(|&rate| {
             let world = WorldConfig {
                 sensor_error_rate: rate,
                 ..WorldConfig::default()
             };
-            let r = Scenario::new(
+            Scenario::new(
                 Scheme::Batching,
                 iotse_apps::catalog::apps(&[AppId::A2], cfg.seed),
             )
             .windows(cfg.windows)
             .seed(cfg.seed)
             .world(world)
-            .run();
+        })
+        .collect();
+    let points = RATES
+        .iter()
+        .zip(cfg.run_fleet(scenarios))
+        .map(|(&rate, r)| {
             let steps = r
                 .app(AppId::A2)
                 .expect("ran")

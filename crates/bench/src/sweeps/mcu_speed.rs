@@ -8,7 +8,6 @@
 use std::fmt;
 
 use iotse_core::{AppId, Scenario, Scheme};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 use crate::sweeps::ScaledMcu;
@@ -17,7 +16,7 @@ use crate::sweeps::ScaledMcu;
 pub const FACTORS: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 
 /// One sweep point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McuSpeedPoint {
     /// MCU compute-time multiplier.
     pub factor: f64,
@@ -28,7 +27,7 @@ pub struct McuSpeedPoint {
 }
 
 /// The sweep result for one app.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McuSpeedSweep {
     /// The app swept.
     pub id: AppId,
@@ -49,23 +48,26 @@ impl McuSpeedSweep {
     }
 }
 
-/// Runs the sweep for `id`.
+/// Runs the sweep for `id`. The baseline and all six COM points run as one
+/// fleet on `cfg.jobs` threads.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig, id: AppId) -> McuSpeedSweep {
-    let baseline = cfg.run(Scheme::Baseline, &[id]);
+    let mut scenarios = vec![cfg.scenario(Scheme::Baseline, &[id])];
+    scenarios.extend(FACTORS.iter().map(|&factor| {
+        let app = ScaledMcu::new(iotse_apps::catalog::app(id, cfg.seed), factor);
+        Scenario::new(Scheme::Com, vec![Box::new(app)])
+            .windows(cfg.windows)
+            .seed(cfg.seed)
+    }));
+    let mut results = cfg.run_fleet(scenarios).into_iter();
+    let baseline = results.next().expect("baseline ran");
     let points = FACTORS
         .iter()
-        .map(|&factor| {
-            let app = ScaledMcu::new(iotse_apps::catalog::app(id, cfg.seed), factor);
-            let com = Scenario::new(Scheme::Com, vec![Box::new(app)])
-                .windows(cfg.windows)
-                .seed(cfg.seed)
-                .run();
-            McuSpeedPoint {
-                factor,
-                speedup: com.speedup_vs(&baseline, id).unwrap_or(0.0),
-                saving: com.savings_vs(&baseline),
-            }
+        .zip(results)
+        .map(|(&factor, com)| McuSpeedPoint {
+            factor,
+            speedup: com.speedup_vs(&baseline, id).unwrap_or(0.0),
+            saving: com.savings_vs(&baseline),
         })
         .collect();
     McuSpeedSweep { id, points }

@@ -10,7 +10,6 @@ use std::fmt;
 
 use iotse_core::calibration::Calibration;
 use iotse_core::{AppId, Scheme};
-use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 
@@ -18,7 +17,7 @@ use crate::config::ExperimentConfig;
 pub const FACTORS: [f64; 6] = [0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
 
 /// One sweep point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransitionPoint {
     /// Transition-time multiplier over the paper's 1.6 ms.
     pub factor: f64,
@@ -29,7 +28,7 @@ pub struct TransitionPoint {
 }
 
 /// The sweep result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransitionSweep {
     /// One point per factor.
     pub points: Vec<TransitionPoint>,
@@ -46,28 +45,41 @@ pub fn scaled_calibration(factor: f64) -> Calibration {
     cal
 }
 
-/// Runs the sweep.
+/// Runs the sweep. All 24 scenarios (6 factors × 2 apps × 2 schemes) run
+/// as one fleet on `cfg.jobs` threads.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> TransitionSweep {
-    let saving = |id: AppId, cal: &Calibration| {
-        let scenario = |scheme| {
-            iotse_core::Scenario::new(scheme, iotse_apps::catalog::apps(&[id], cfg.seed))
-                .windows(cfg.windows)
-                .seed(cfg.seed)
-                .calibration(cal.clone())
-                .run()
-        };
-        scenario(Scheme::Batching).savings_vs(&scenario(Scheme::Baseline))
+    let scenario = |id: AppId, cal: &Calibration, scheme: Scheme| {
+        iotse_core::Scenario::new(scheme, iotse_apps::catalog::apps(&[id], cfg.seed))
+            .windows(cfg.windows)
+            .seed(cfg.seed)
+            .calibration(cal.clone())
+    };
+    let mut results = cfg
+        .run_fleet(
+            FACTORS
+                .iter()
+                .flat_map(|&factor| {
+                    let cal = scaled_calibration(factor);
+                    [AppId::A2, AppId::A3].into_iter().flat_map(move |id| {
+                        [Scheme::Batching, Scheme::Baseline]
+                            .map(|scheme| scenario(id, &cal, scheme))
+                    })
+                })
+                .collect(),
+        )
+        .into_iter();
+    let mut saving = || {
+        let batching = results.next().expect("batching ran");
+        let baseline = results.next().expect("baseline ran");
+        batching.savings_vs(&baseline)
     };
     let points = FACTORS
         .iter()
-        .map(|&factor| {
-            let cal = scaled_calibration(factor);
-            TransitionPoint {
-                factor,
-                a2_saving: saving(AppId::A2, &cal),
-                a3_saving: saving(AppId::A3, &cal),
-            }
+        .map(|&factor| TransitionPoint {
+            factor,
+            a2_saving: saving(),
+            a3_saving: saving(),
         })
         .collect();
     TransitionSweep { points }

@@ -1,0 +1,61 @@
+//! Golden-file tests for the CSV exports.
+//!
+//! Each test renders a figure at the quick configuration (seed 42, two
+//! windows) and compares the CSV against a checked-in golden file,
+//! byte for byte. The fleet runs at four worker threads precisely so a
+//! nondeterministic regression (result reordering, racy signal cache,
+//! seed leakage between workers) shows up as a golden mismatch.
+//!
+//! To update after an intentional model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p iotse-bench --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use iotse_bench::config::ExperimentConfig;
+use iotse_bench::csv;
+use iotse_bench::figures::{fig01, fig09, tables};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with UPDATE_GOLDEN=1)", name));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::quick().with_jobs(4)
+}
+
+#[test]
+fn fig01_csv_matches_golden() {
+    check("fig01.csv", &csv::fig01_csv(&fig01::run(&cfg())));
+}
+
+#[test]
+fn fig09_csv_matches_golden() {
+    check("fig09.csv", &csv::fig09_csv(&fig09::run(&cfg())));
+}
+
+#[test]
+fn table2_csv_matches_golden() {
+    check("table2.csv", &csv::table2_csv(&tables::table2(&cfg())));
+}

@@ -7,13 +7,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::calibration::Calibration;
 use crate::workload::Workload;
 
 /// Why an app cannot be offloaded.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OffloadBlocker {
     /// Working set exceeds MCU RAM.
     Memory {
@@ -53,7 +51,7 @@ impl fmt::Display for OffloadBlocker {
 }
 
 /// The classification of one app.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WeightClass {
     /// Offloadable to the MCU (the paper's "light-weight").
     Light,

@@ -7,10 +7,9 @@
 
 use iotse_energy::units::Power;
 use iotse_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// All tunable constants of the hub model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Calibration {
     // ---- CPU (Raspberry Pi 3B Main board), §III-A ----
     /// CPU active-mode power: 5 W.

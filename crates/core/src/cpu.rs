@@ -12,12 +12,11 @@
 use iotse_energy::attribution::{Device, EnergyLedger, Routine};
 use iotse_energy::units::Energy;
 use iotse_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::calibration::Calibration;
 
 /// What the CPU was doing in one timeline segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuPhase {
     /// Executing a task.
     Busy,
@@ -46,7 +45,7 @@ impl CpuPhase {
 }
 
 /// How deep the CPU may sleep in idle gaps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SleepPolicy {
     /// Never sleep: the Baseline/BEAM blocking-poll design — "in Baseline,
     /// the CPU is in active mode all the time" (Figure 5a).
@@ -59,7 +58,7 @@ pub enum SleepPolicy {
 }
 
 /// How idle gaps are handled and attributed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GapPolicy {
     /// How deep the CPU may sleep.
     pub sleep: SleepPolicy,
@@ -70,7 +69,7 @@ pub struct GapPolicy {
 }
 
 /// Aggregate CPU statistics of one run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CpuStats {
     /// Time executing tasks.
     pub busy: SimDuration,

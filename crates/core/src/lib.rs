@@ -18,6 +18,8 @@
 //!   kernels returning typed [`workload::AppOutput`]s.
 //! * [`executor`] — [`executor::Scenario`]: runs apps × scheme × windows on
 //!   the discrete-event engine and yields a [`result::RunResult`].
+//! * [`runner`] — the scenario fleet runner: fans independent scenarios
+//!   across OS threads with deterministic, submission-ordered results.
 //! * [`result`] — energy breakdowns, per-app QoS/processing reports,
 //!   speedups.
 //!
@@ -43,11 +45,13 @@ pub mod cpu;
 pub mod executor;
 pub mod mcu;
 pub mod result;
+pub mod runner;
 pub mod scheme;
 pub mod workload;
 
 pub use calibration::Calibration;
 pub use executor::Scenario;
 pub use result::{AppFlow, RunResult};
+pub use runner::{run_fleet, Fleet};
 pub use scheme::Scheme;
 pub use workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};

@@ -8,12 +8,11 @@
 
 use iotse_energy::attribution::{Device, EnergyLedger, Routine};
 use iotse_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::calibration::Calibration;
 
 /// What the MCU was doing in one timeline segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum McuPhase {
     /// Executing a task (sensor read, transfer, offloaded compute).
     Busy,
@@ -36,7 +35,7 @@ impl McuPhase {
 }
 
 /// Aggregate MCU statistics of one run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct McuStats {
     /// Time executing tasks.
     pub busy: SimDuration,

@@ -4,7 +4,6 @@ use iotse_energy::attribution::{Breakdown, EnergyLedger};
 use iotse_energy::monitor::PowerTrace;
 use iotse_energy::units::{Energy, Power};
 use iotse_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::cpu::{CpuPhase, CpuStats};
 use crate::mcu::{McuPhase, McuStats};
@@ -12,7 +11,7 @@ use crate::scheme::Scheme;
 use crate::workload::{AppId, AppOutput};
 
 /// Per-routine busy time (the Figure 8 stacked timing bars).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RoutineDurations {
     /// Sensor data collection at the MCU.
     pub data_collection: SimDuration,
@@ -52,7 +51,7 @@ impl std::ops::AddAssign for RoutineDurations {
 }
 
 /// The effective data flow assigned to one app under a scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppFlow {
     /// One interrupt + transfer per sample; compute on CPU.
     PerSample,
@@ -74,7 +73,7 @@ impl std::fmt::Display for AppFlow {
 }
 
 /// One completed window of one app.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowOutcome {
     /// Window index.
     pub window: u32,
@@ -104,7 +103,7 @@ impl WindowOutcome {
 }
 
 /// Everything one app did during a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppRunReport {
     /// Which Table II app.
     pub id: AppId,
@@ -165,7 +164,7 @@ impl AppRunReport {
 }
 
 /// The result of one scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The scheme that ran.
     pub scheme: Scheme,

@@ -14,10 +14,9 @@ use std::fmt;
 use iotse_sensors::reading::SensorSample;
 use iotse_sensors::spec::SensorId;
 use iotse_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Identifies one of the paper's Table II workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum AppId {
     A1,
@@ -71,7 +70,7 @@ impl fmt::Display for AppId {
 }
 
 /// How a workload uses one sensor within each window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorUsage {
     /// Which sensor.
     pub sensor: SensorId,
@@ -116,7 +115,7 @@ impl SensorUsage {
 }
 
 /// The Figure 6 resource profile plus the measured compute times.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceProfile {
     /// Heap usage, bytes.
     pub heap_bytes: usize,
@@ -183,7 +182,7 @@ impl WindowData {
 }
 
 /// The typed result of one window of app-specific computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AppOutput {
     /// Steps detected (A2).
     Steps(u32),
@@ -252,7 +251,11 @@ impl AppOutput {
 }
 
 /// One of the paper's Table II applications.
-pub trait Workload {
+///
+/// `Send` is required so a boxed workload can be handed to a fleet-runner
+/// worker thread (see [`crate::runner`]); workload state is owned, never
+/// shared, so no `Sync` bound is needed.
+pub trait Workload: Send {
     /// The Table II identity.
     fn id(&self) -> AppId;
     /// Human name, e.g. `"Step counter"`.

@@ -10,12 +10,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::Energy;
 
 /// The hardware component that spent the energy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Device {
     /// The Main-board CPU (Raspberry Pi 3B in the paper).
     Cpu,
@@ -46,7 +44,7 @@ impl fmt::Display for Device {
 
 /// The paper's four execution sub-tasks, plus an explicit idle bucket for
 /// out-of-workload energy (the Figure 1 idle-hub experiment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Routine {
     /// Task I–III of §II-B: checking the sensor, reading its data register,
     /// and formatting raw data, all at the MCU.
@@ -110,7 +108,7 @@ impl fmt::Display for Routine {
 /// assert_eq!(ledger.routine_total(Routine::Interrupt).as_millijoules(), 240.0);
 /// assert_eq!(ledger.total().as_millijoules(), 1200.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyLedger {
     cells: BTreeMap<(Device, Routine), Energy>,
 }
@@ -205,7 +203,7 @@ impl EnergyLedger {
 
 /// The four-routine energy breakdown of one scheme run — one stacked bar of
 /// Figures 3/7/9/10/11/12.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Breakdown {
     /// Sensor data collection at the MCU.
     pub data_collection: Energy,
@@ -269,7 +267,7 @@ impl std::ops::Add for Breakdown {
 }
 
 /// A [`Breakdown`] expressed as dimensionless fractions.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NormalizedBreakdown {
     /// Fraction for data collection.
     pub data_collection: f64,

@@ -7,7 +7,6 @@
 //! fixed-rate sample stream (for CSV export / plotting) when asked.
 
 use iotse_sim::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::units::{Energy, Power};
 
@@ -26,7 +25,7 @@ use crate::units::{Energy, Power};
 /// // 0.5 W × 100 ms + 5 W × 100 ms = 550 mJ
 /// assert!((trace.energy().as_millijoules() - 550.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrace {
     /// `(instant, power-from-that-instant)` change points, strictly
     /// increasing in time.

@@ -9,7 +9,6 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 use iotse_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Electrical power, stored in milliwatts.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let e = cpu_active * SimDuration::from_millis(48);
 /// assert_eq!(e, Energy::from_millijoules(240.0)); // Fig 8 interrupt energy
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Power(f64);
 
 /// Electrical energy, stored in microjoules.
@@ -36,7 +35,7 @@ pub struct Power(f64);
 /// let total = Energy::from_millijoules(1902.0); // paper's step-counter run
 /// assert_eq!(total.as_joules(), 1.902);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Energy(f64);
 
 impl Power {

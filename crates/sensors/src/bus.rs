@@ -7,10 +7,9 @@
 use std::fmt;
 
 use iotse_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The physical bus a sensor is attached to (Table I "Input Bus type").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BusKind {
     /// I²C at 400 kbit/s (fast mode).
     I2c,

@@ -11,9 +11,8 @@
 use std::fmt;
 
 use iotse_sim::rng::SeedTree;
+use iotse_sim::rng::SimRng;
 use iotse_sim::time::SimTime;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::reading::{SampleValue, SensorSample, SignalSource};
 use crate::spec::{PayloadKind, SensorSpec};
@@ -53,7 +52,7 @@ pub struct SensorDriver {
     source: Box<dyn SignalSource>,
     seq: u64,
     error_rate: f64,
-    rng: StdRng,
+    rng: SimRng,
     reads_ok: u64,
     reads_failed: u64,
 }

@@ -9,12 +9,11 @@
 use std::fmt;
 
 use iotse_sim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::spec::SensorId;
 
 /// A decoded sensor value in engineering units.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SampleValue {
     /// A single scalar (temperature °C, pressure hPa, lux, distance m, …).
     Scalar(f64),
@@ -82,7 +81,7 @@ impl From<Vec<u8>> for SampleValue {
 }
 
 /// One decoded reading from one sensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorSample {
     /// Which sensor produced it.
     pub sensor: SensorId,

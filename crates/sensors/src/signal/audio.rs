@@ -7,12 +7,13 @@
 //! `iotse-apps` must recover.
 
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 use iotse_sim::rng::SeedTree;
 use iotse_sim::time::{SimDuration, SimTime};
-use rand::Rng;
 
 use crate::reading::{SampleValue, SignalSource};
+use crate::signal::cache;
 
 /// The keyword vocabulary of the synthetic speaker.
 pub const VOCABULARY: [&str; 6] = ["on", "off", "up", "down", "start", "stop"];
@@ -59,7 +60,9 @@ pub fn word_tones(word: usize) -> (f64, f64) {
 /// ```
 #[derive(Debug)]
 pub struct AudioGenerator {
-    utterances: Vec<Utterance>,
+    /// Shared via the signal cache: scenarios with the same seed, count and
+    /// horizon reuse one schedule.
+    utterances: Arc<Vec<Utterance>>,
     noise_std: f64,
     seed: u64,
 }
@@ -79,18 +82,28 @@ impl AudioGenerator {
             count <= slots_available,
             "cannot fit {count} words of {WORD_DURATION} into {horizon}"
         );
-        let mut rng = seeds.stream("signal/audio");
-        // Evenly spaced slots with a jitter that cannot cause overlap.
-        let mut utterances = Vec::with_capacity(count);
-        for i in 0..count {
-            let slot_start = horizon.as_nanos() / count as u64 * i as u64;
-            let jitter = rng.gen_range(0..WORD_DURATION.as_nanos() / 2);
-            let word = rng.gen_range(0..VOCABULARY.len());
-            utterances.push(Utterance {
-                at: SimTime::from_nanos(slot_start + jitter),
-                word,
-            });
-        }
+        // Pure function of the audio stream seed, count and horizon —
+        // memoized across scenarios replaying the same world.
+        let utterances = cache::memoized(
+            "audio/utterances",
+            seeds.derive("signal/audio"),
+            cache::fingerprint(&[count as u64, horizon.as_nanos()]),
+            || {
+                let mut rng = seeds.stream("signal/audio");
+                // Evenly spaced slots with a jitter that cannot cause overlap.
+                let mut utterances = Vec::with_capacity(count);
+                for i in 0..count {
+                    let slot_start = horizon.as_nanos() / count as u64 * i as u64;
+                    let jitter = rng.gen_range(0..WORD_DURATION.as_nanos() / 2);
+                    let word = rng.gen_range(0..VOCABULARY.len());
+                    utterances.push(Utterance {
+                        at: SimTime::from_nanos(slot_start + jitter),
+                        word,
+                    });
+                }
+                utterances
+            },
+        );
         AudioGenerator {
             utterances,
             noise_std: 12.0,

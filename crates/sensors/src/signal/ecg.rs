@@ -7,12 +7,13 @@
 //! beat schedule *is* the ground truth.
 
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 use iotse_sim::rng::SeedTree;
 use iotse_sim::time::SimTime;
-use rand::Rng;
 
 use crate::reading::{SampleValue, SignalSource};
+use crate::signal::cache;
 
 /// Configuration of the synthetic heart.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +65,9 @@ pub struct Beat {
 #[derive(Debug)]
 pub struct EcgGenerator {
     profile: EcgProfile,
-    beats: Vec<Beat>,
+    /// Shared via the signal cache: scenarios with the same seed and
+    /// profile reuse one beat schedule.
+    beats: Arc<Vec<Beat>>,
     baseline: f64,
 }
 
@@ -82,19 +85,34 @@ impl EcgGenerator {
             (0.0..=1.0).contains(&profile.premature_fraction),
             "premature_fraction must be within [0, 1]"
         );
-        let mut rng = seeds.stream("signal/ecg");
-        let base_rr = 60.0 / profile.bpm;
-        let mut beats = Vec::new();
-        let mut t = 0.35; // first beat slightly in
-        while t < horizon.as_secs_f64() {
-            let premature = rng.gen::<f64>() < profile.premature_fraction;
-            beats.push(Beat {
-                at: SimTime::from_nanos((t * 1e9) as u64),
-                premature,
-            });
-            let rr = if premature { base_rr * 0.55 } else { base_rr };
-            t += rr;
-        }
+        // The schedule is a pure function of the ECG stream seed, the
+        // profile and the horizon — memoized so a fleet of scenarios over
+        // the same world generates it once.
+        let beats = cache::memoized(
+            "ecg/beats",
+            seeds.derive("signal/ecg"),
+            cache::fingerprint(&[
+                profile.bpm.to_bits(),
+                profile.premature_fraction.to_bits(),
+                horizon.as_nanos(),
+            ]),
+            || {
+                let mut rng = seeds.stream("signal/ecg");
+                let base_rr = 60.0 / profile.bpm;
+                let mut beats = Vec::new();
+                let mut t = 0.35; // first beat slightly in
+                while t < horizon.as_secs_f64() {
+                    let premature = rng.gen::<f64>() < profile.premature_fraction;
+                    beats.push(Beat {
+                        at: SimTime::from_nanos((t * 1e9) as u64),
+                        premature,
+                    });
+                    let rr = if premature { base_rr * 0.55 } else { base_rr };
+                    t += rr;
+                }
+                beats
+            },
+        );
         EcgGenerator {
             profile,
             beats,

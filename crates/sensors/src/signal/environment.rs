@@ -6,9 +6,8 @@
 //! seed and the *sequence* of sampling instants.
 
 use iotse_sim::rng::SeedTree;
+use iotse_sim::rng::SimRng;
 use iotse_sim::time::SimTime;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::reading::{SampleValue, SignalSource};
 
@@ -57,7 +56,7 @@ impl Quantity {
 #[derive(Debug)]
 pub struct EnvironmentGenerator {
     quantity: Quantity,
-    rng: StdRng,
+    rng: SimRng,
     value: f64,
     last_t: Option<SimTime>,
 }

@@ -7,13 +7,13 @@
 //! the ground truth.
 
 use iotse_sim::rng::SeedTree;
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use iotse_sim::rng::SimRng;
+
+use crate::signal::cache;
 
 /// One minutia point: ridge ending/bifurcation position and direction on a
 /// normalized 256 × 256 grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Minutia {
     /// X coordinate, 0–255.
     pub x: u8,
@@ -30,7 +30,7 @@ pub const MINUTIAE_PER_TEMPLATE: usize = 24;
 pub const SIGNATURE_BYTES: usize = 512;
 
 /// A person's reference fingerprint.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FingerTemplate {
     /// Stable person identifier.
     pub person: u32,
@@ -41,17 +41,29 @@ pub struct FingerTemplate {
 impl FingerTemplate {
     /// Derives the canonical template of `person` (pure function of seed and
     /// person id).
+    ///
+    /// Every [`FingerprintScanner::scan`] call needs the reference template,
+    /// so it is memoized in the signal cache rather than regenerated per
+    /// scan.
     #[must_use]
     pub fn of_person(seeds: &SeedTree, person: u32) -> Self {
-        let mut rng: StdRng = seeds.stream(&format!("signal/finger/{person}"));
-        let minutiae = (0..MINUTIAE_PER_TEMPLATE)
-            .map(|_| Minutia {
-                x: rng.gen(),
-                y: rng.gen(),
-                angle: rng.gen(),
-            })
-            .collect();
-        FingerTemplate { person, minutiae }
+        let template = cache::memoized(
+            "finger/template",
+            seeds.derive(&format!("signal/finger/{person}")),
+            u64::from(person),
+            || {
+                let mut rng: SimRng = seeds.stream(&format!("signal/finger/{person}"));
+                let minutiae = (0..MINUTIAE_PER_TEMPLATE)
+                    .map(|_| Minutia {
+                        x: rng.gen(),
+                        y: rng.gen(),
+                        angle: rng.gen(),
+                    })
+                    .collect();
+                FingerTemplate { person, minutiae }
+            },
+        );
+        (*template).clone()
     }
 
     /// Encodes the template into the 512-byte wire signature S3 emits.
@@ -109,7 +121,7 @@ impl FingerTemplate {
 #[derive(Debug)]
 pub struct FingerprintScanner {
     seeds: SeedTree,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl FingerprintScanner {
@@ -153,7 +165,7 @@ impl FingerprintScanner {
     }
 }
 
-fn jitter(rng: &mut StdRng, v: u8, amount: i16) -> u8 {
+fn jitter(rng: &mut SimRng, v: u8, amount: i16) -> u8 {
     let d = rng.gen_range(-amount..=amount);
     (i16::from(v) + d).clamp(0, 255) as u8
 }

@@ -10,9 +10,8 @@
 use std::f64::consts::PI;
 
 use iotse_sim::rng::SeedTree;
+use iotse_sim::rng::SimRng;
 use iotse_sim::time::SimTime;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::reading::{SampleValue, SignalSource};
 
@@ -61,7 +60,7 @@ impl Default for GaitProfile {
 #[derive(Debug)]
 pub struct GaitGenerator {
     profile: GaitProfile,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl GaitGenerator {
@@ -132,7 +131,7 @@ impl GaitGenerator {
         let p = self.profile;
         let sway = 0.4 * (2.0 * PI * p.cadence_hz / 2.0 * ts).sin();
         let bob = 0.25 * (2.0 * PI * p.cadence_hz * ts + 0.7).sin();
-        let n = |rng: &mut StdRng| -> f64 {
+        let n = |rng: &mut SimRng| -> f64 {
             // Box–Muller from two uniform draws keeps us on rand's stable API.
             let u1: f64 = rng.gen_range(1e-12..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);

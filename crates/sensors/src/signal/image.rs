@@ -8,8 +8,9 @@
 //! PSNR floor against the original.
 
 use iotse_sim::rng::SeedTree;
-use rand::rngs::StdRng;
-use rand::Rng;
+use iotse_sim::rng::SimRng;
+
+use crate::signal::cache;
 
 /// A raw 8-bit RGB frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,9 +96,24 @@ impl ImageGenerator {
     }
 
     /// Renders frame number `index` (pure in `index`).
+    ///
+    /// Rendering draws ~3 random values per pixel, so frames are memoized
+    /// in the signal cache; repeated requests (within or across scenarios
+    /// sharing a seed) clone the cached pixels instead of re-rendering.
     #[must_use]
     pub fn frame(&mut self, index: u64) -> Frame {
-        let mut rng: StdRng = self.seeds.stream(&format!("frame/{index}"));
+        let cached = cache::memoized(
+            "image/frame",
+            self.seeds.derive(&format!("frame/{index}")),
+            cache::fingerprint(&[self.width as u64, self.height as u64, index]),
+            || self.render(index),
+        );
+        (*cached).clone()
+    }
+
+    /// Uncached rendering of frame `index`.
+    fn render(&self, index: u64) -> Frame {
+        let mut rng: SimRng = self.seeds.stream(&format!("frame/{index}"));
         let mut pixels = vec![0u8; self.width * self.height * 3];
         // Gradient background whose direction shifts with the frame index.
         let gx = 0.5 + 0.5 * ((index as f64) * 0.7).sin();

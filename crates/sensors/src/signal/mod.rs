@@ -8,6 +8,7 @@
 //! kernels can be tested for functional correctness, not just timed.
 
 pub mod audio;
+pub mod cache;
 pub mod ecg;
 pub mod environment;
 pub mod fingerprint;

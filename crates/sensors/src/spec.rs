@@ -4,7 +4,6 @@ use std::fmt;
 
 use iotse_energy::units::Power;
 use iotse_sim::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::bus::BusKind;
 
@@ -13,7 +12,7 @@ use crate::bus::BusKind;
 /// `S10` is the Table I image sensor in its MCU-friendly low-resolution
 /// configuration (ArduCAM mini); [`SensorId::S10Hi`] is the same table row's
 /// high-resolution configuration, the paper's one MCU-*unfriendly* sensor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum SensorId {
     S1,
@@ -55,7 +54,7 @@ impl fmt::Display for SensorId {
 }
 
 /// The shape and size of one sensor reading (Table I "Output Data").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PayloadKind {
     /// One IEEE-754 double, 8 bytes.
     Double,
@@ -101,7 +100,7 @@ impl fmt::Display for PayloadKind {
 }
 
 /// One row of Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorSpec {
     /// Which sensor this is.
     pub id: SensorId,

@@ -324,10 +324,12 @@ mod tests {
 
     #[test]
     fn quake_superimposes_on_gait() {
+        // Peak well above the gait impulse amplitude (4 m/s²) plus noise, so
+        // the quake window is unambiguous for any seed.
         let quake = Quake {
             onset: SimTime::from_secs(2),
             duration: SimDuration::from_secs(2),
-            peak: 5.0,
+            peak: 9.0,
         };
         let cfg = WorldConfig {
             quakes: vec![quake],

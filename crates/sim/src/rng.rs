@@ -6,9 +6,16 @@
 //! derived by hashing `(seed, label)` with SplitMix64, so adding a new
 //! consumer never shifts the draws of existing ones — unlike handing a
 //! single RNG around.
+//!
+//! The generator itself ([`SimRng`], xoshiro256++) is implemented here with
+//! no external dependencies, which keeps the workspace `std`-only and — more
+//! importantly — makes every draw bit-stable across platforms, compiler
+//! versions and thread schedules. That stability is what the parallel fleet
+//! runner in `iotse-core` leans on: a scenario seeded from its key produces
+//! the same byte-identical result whether it runs alone or on any worker of
+//! an 8-thread pool.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
 
 /// One round of the SplitMix64 mixing function.
 #[must_use]
@@ -19,6 +26,251 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A deterministic xoshiro256++ stream.
+///
+/// The API intentionally mirrors the small slice of `rand` the workspace
+/// used (`gen`, `gen_range`, `gen_bool`), so signal generators read the
+/// same; the implementation is self-contained and bit-reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use iotse_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+/// assert!((0..10u32).contains(&a.gen_range(0..10u32)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seeds a stream by expanding `seed` through SplitMix64 (the xoshiro
+    /// authors' recommended initialization).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(z);
+        }
+        // The all-zero state is the one fixed point; SplitMix64 cannot
+        // produce four zero outputs from sequential inputs, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++).
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw of type `T` (full integer range, `[0, 1)` for floats,
+    /// fair coin for `bool`).
+    #[must_use]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[must_use]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Splits off an independent child stream and advances the parent.
+    ///
+    /// The child's seed is a SplitMix64 hash of one parent draw, so (a)
+    /// repeated splits from the same parent state yield the same sequence of
+    /// children, and (b) the child's output prefix does not replay the
+    /// parent's — the fleet runner uses this to hand each worker-local
+    /// consumer its own stream without any cross-thread coordination.
+    #[must_use]
+    pub fn split(&mut self) -> SimRng {
+        // XOR with a distinct constant keeps the child's seed domain apart
+        // from plain `seed_from_u64(next_u64())` usage.
+        SimRng::seed_from_u64(splitmix64(self.next_u64() ^ 0xA5A5_5A5A_C3C3_3C3C))
+    }
+}
+
+/// Types [`SimRng::gen`] can draw uniformly.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut SimRng) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(rng: &mut SimRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for bool {
+    fn sample(rng: &mut SimRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut SimRng) -> Self {
+        // 53 high bits → [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Sample for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample(rng: &mut SimRng) -> Self {
+        ((rng.next_u64() >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+/// Ranges [`SimRng::gen_range`] can draw from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u: f64 = rng.gen();
+        let v = self.start + u * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; fold it back in.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut SimRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let u: f32 = rng.gen();
+        let v = self.start + u * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Uniform draw from `[0, bound)` by multiply-shift (Lemire), debiased with
+/// one rejection round at most in practice.
+fn uniform_u64(rng: &mut SimRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Widening multiply keeps the draw unbiased enough for simulation use
+    // while staying branch-cheap; the slight modulo bias of a naive `%`
+    // would still be deterministic but this is just as cheap.
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(bound);
+        #[allow(clippy::cast_possible_truncation)]
+        let lo = m as u64;
+        if lo >= bound.wrapping_neg() % bound {
+            #[allow(clippy::cast_possible_truncation)]
+            return (m >> 64) as u64;
+        }
+    }
+}
+
 /// A root seed from which independent, label-addressed RNG streams are
 /// derived.
 ///
@@ -26,7 +278,6 @@ fn splitmix64(mut z: u64) -> u64 {
 ///
 /// ```
 /// use iotse_sim::rng::SeedTree;
-/// use rand::Rng;
 ///
 /// let tree = SeedTree::new(42);
 /// let mut accel = tree.stream("sensor/accelerometer");
@@ -69,8 +320,19 @@ impl SeedTree {
 
     /// Returns a fresh RNG for `label`, independent of all other labels.
     #[must_use]
-    pub fn stream(&self, label: &str) -> StdRng {
-        StdRng::seed_from_u64(self.derive(label))
+    pub fn stream(&self, label: &str) -> SimRng {
+        SimRng::seed_from_u64(self.derive(label))
+    }
+
+    /// Returns `n` index-addressed sibling streams split under `label`.
+    ///
+    /// Stream `i` is reproducible from `(root, label, i)` alone — the fleet
+    /// runner derives one per scenario so workers never share RNG state.
+    #[must_use]
+    pub fn streams(&self, label: &str, n: usize) -> Vec<SimRng> {
+        (0..n)
+            .map(|i| SimRng::seed_from_u64(splitmix64(self.derive(label) ^ i as u64)))
+            .collect()
     }
 
     /// Derives a child tree, for namespacing (e.g. one tree per app
@@ -86,21 +348,14 @@ impl SeedTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_label_same_stream() {
         let t = SeedTree::new(7);
-        let a: Vec<u32> = t
-            .stream("x")
-            .sample_iter(rand::distributions::Standard)
-            .take(8)
-            .collect();
-        let b: Vec<u32> = t
-            .stream("x")
-            .sample_iter(rand::distributions::Standard)
-            .take(8)
-            .collect();
+        let mut s1 = t.stream("x");
+        let mut s2 = t.stream("x");
+        let a: Vec<u32> = (0..8).map(|_| s1.gen()).collect();
+        let b: Vec<u32> = (0..8).map(|_| s2.gen()).collect();
         assert_eq!(a, b);
     }
 
@@ -132,5 +387,136 @@ mod tests {
         // experiment outputs depend on these.
         assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
         assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn f64_draws_live_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SimRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!((10..20u32).contains(&r.gen_range(10..20u32)));
+            assert!((0..=5i16).contains(&r.gen_range(0..=5i16)));
+            assert!((-4..=4i16).contains(&r.gen_range(-4..=4i16)));
+            let f = r.gen_range(1e-12..1.0f64);
+            assert!((1e-12..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_draws_cover_the_support() {
+        let mut r = SimRng::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SimRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn split_children_are_reproducible_and_independent() {
+        let mut parent1 = SimRng::seed_from_u64(11);
+        let mut parent2 = SimRng::seed_from_u64(11);
+        let mut c1 = parent1.split();
+        let mut c2 = parent2.split();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // A second split from the advanced parent differs from the first.
+        let mut d1 = parent1.split();
+        assert_ne!(c1.next_u64(), d1.next_u64());
+    }
+
+    /// Property-style harness: runs `body` over `cases` generated seeds.
+    fn forall_seeds(cases: u64, mut body: impl FnMut(u64)) {
+        for case in 0..cases {
+            body(splitmix64(0x51EE_D000 ^ case));
+        }
+    }
+
+    const PREFIX: usize = 32;
+
+    fn prefix(rng: &mut SimRng) -> Vec<u64> {
+        (0..PREFIX).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn prop_split_prefixes_are_pairwise_disjoint() {
+        // For any seed: the parent and a family of split children must not
+        // share a single u64 in their first 32 draws. With 64-bit outputs a
+        // chance collision is ~2⁻⁵³ per pair, so any hit means overlapping
+        // streams — the failure mode that would correlate "independent"
+        // sensor noise across fleet workers.
+        use std::collections::HashMap;
+        forall_seeds(200, |seed| {
+            let mut parent = SimRng::seed_from_u64(seed);
+            let mut streams = vec![parent.split(), parent.split(), parent.split()];
+            streams.push(parent); // the advanced parent is a stream too
+            let mut owner: HashMap<u64, usize> = HashMap::new();
+            for (i, s) in streams.iter_mut().enumerate() {
+                for draw in prefix(s) {
+                    if let Some(j) = owner.insert(draw, i) {
+                        assert_ne!(i, j, "stream {i} repeated a draw (seed {seed:#x})");
+                        panic!("seed {seed:#x}: streams {j} and {i} share draw {draw:#x}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn prop_split_children_replay_from_the_parent_seed() {
+        // For any seed and any split depth: rebuilding the parent from its
+        // seed and re-splitting reproduces every child bit for bit.
+        forall_seeds(200, |seed| {
+            let mut a = SimRng::seed_from_u64(seed);
+            let mut b = SimRng::seed_from_u64(seed);
+            for depth in 0..4 {
+                assert_eq!(
+                    prefix(&mut a.split()),
+                    prefix(&mut b.split()),
+                    "split #{depth} of seed {seed:#x} not reproducible"
+                );
+            }
+            // The parents themselves stayed in lockstep throughout.
+            assert_eq!(a, b);
+        });
+    }
+
+    #[test]
+    fn prop_sibling_streams_are_disjoint_and_index_addressed() {
+        // SeedTree::streams hands the fleet one stream per scenario; stream
+        // `i` must depend only on (root, label, i) and never collide with a
+        // sibling's prefix.
+        forall_seeds(100, |seed| {
+            let tree = SeedTree::new(seed);
+            let mut siblings = tree.streams("fleet", 8);
+            let prefixes: Vec<Vec<u64>> = siblings.iter_mut().map(prefix).collect();
+            for i in 0..prefixes.len() {
+                for j in i + 1..prefixes.len() {
+                    assert!(
+                        prefixes[i].iter().all(|d| !prefixes[j].contains(d)),
+                        "siblings {i}/{j} overlap (root {seed:#x})"
+                    );
+                }
+            }
+            // Index-addressed: a shorter family is a prefix of a longer one.
+            let mut fewer = tree.streams("fleet", 3);
+            for (i, s) in fewer.iter_mut().enumerate() {
+                assert_eq!(prefix(s), prefixes[i], "stream {i} depends on n");
+            }
+        });
     }
 }

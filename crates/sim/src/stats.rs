@@ -5,8 +5,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// A monotonically increasing event counter.
@@ -21,7 +19,7 @@ use crate::time::{SimDuration, SimTime};
 /// interrupts.incr();
 /// assert_eq!(interrupts.value(), 1000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Counter {
     name: String,
     value: u64,
@@ -86,7 +84,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -216,7 +214,7 @@ impl OnlineStats {
 /// assert_eq!(h.bucket_counts(), &[1, 1, 0]);
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
@@ -294,7 +292,7 @@ impl Histogram {
 /// w.finish(SimTime::from_millis(4));   // 1.0 held for 2 ms
 /// assert_eq!(w.time_weighted_mean(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeWeighted {
     last_change: SimTime,
     current: f64,

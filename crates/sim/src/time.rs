@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute instant on the simulated clock, in nanoseconds since t = 0.
 ///
 /// # Examples
@@ -23,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 3_000_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(3_000));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -39,9 +35,7 @@ pub struct SimTime(u64);
 /// assert_eq!(d, SimDuration::from_millis(1));
 /// assert_eq!(d.as_secs_f64(), 0.001);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {

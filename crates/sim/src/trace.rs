@@ -7,13 +7,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// The kind of a trace entry. Categories mirror the paper's four sub-tasks
 /// plus platform housekeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TraceKind {
     /// A sensor sample was collected at the MCU (Tasks I–III of §II-B).
     SensorRead,
@@ -47,7 +45,7 @@ impl fmt::Display for TraceKind {
 }
 
 /// One trace entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// When it happened.
     pub time: SimTime,
@@ -85,7 +83,7 @@ impl fmt::Display for TraceEntry {
 /// assert_eq!(log.entries().len(), 1);
 /// assert_eq!(log.count(TraceKind::Interrupt), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceLog {
     enabled: bool,
     entries: Vec<TraceEntry>,

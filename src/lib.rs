@@ -42,7 +42,9 @@ pub use iotse_sim as sim;
 /// The types most programs need.
 pub mod prelude {
     pub use iotse_apps::catalog;
-    pub use iotse_core::{AppFlow, AppId, AppOutput, Calibration, RunResult, Scenario, Scheme};
+    pub use iotse_core::{
+        run_fleet, AppFlow, AppId, AppOutput, Calibration, Fleet, RunResult, Scenario, Scheme,
+    };
     pub use iotse_energy::{Breakdown, Energy, Power};
     pub use iotse_sensors::{PhysicalWorld, SensorId, WorldConfig};
     pub use iotse_sim::{SeedTree, SimDuration, SimTime};

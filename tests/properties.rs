@@ -1,4 +1,10 @@
 //! Property-based tests over the workspace's core invariants.
+//!
+//! The container has no registry access, so instead of `proptest` these use
+//! a small in-repo harness: each property runs over a few hundred random
+//! cases drawn from the workspace's own deterministic [`SimRng`], with the
+//! failing case's seed printed on assertion failure — rerun with that seed
+//! to replay the exact case.
 
 use iotse::apps::kernels::coap::{CoapCode, CoapMessage, CoapOption, CoapType};
 use iotse::apps::kernels::jpeg;
@@ -8,154 +14,228 @@ use iotse::energy::attribution::{Device, Routine};
 use iotse::energy::{EnergyLedger, Power, PowerTrace};
 use iotse::prelude::*;
 use iotse::sim::queue::EventQueue;
-use proptest::prelude::*;
+use iotse::sim::rng::SimRng;
+
+/// Runs `body` over `cases` random cases; the per-case RNG is derived from
+/// the case index so failures name a replayable case number.
+fn forall(cases: u64, mut body: impl FnMut(u64, &mut SimRng)) {
+    for case in 0..cases {
+        let mut rng = SimRng::seed_from_u64(0xF0F0_0000 ^ case);
+        body(case, &mut rng);
+    }
+}
 
 // ---------------------------------------------------------------- sim ----
 
-proptest! {
-    /// The event queue pops in non-decreasing time order with FIFO ties,
-    /// whatever the insertion order.
-    #[test]
-    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// The event queue pops in non-decreasing time order with FIFO ties,
+/// whatever the insertion order.
+#[test]
+fn event_queue_orders_any_schedule() {
+    forall(200, |case, rng| {
+        let n = rng.gen_range(1..200usize);
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(SimTime::from_nanos(t), i);
+        for i in 0..n {
+            q.push(SimTime::from_nanos(rng.gen_range(0..1_000u64)), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some(s) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(s.time >= lt);
+                assert!(s.time >= lt, "case {case}: time went backwards");
                 if s.time == lt {
-                    prop_assert!(s.item > li, "FIFO violated among ties");
+                    assert!(s.item > li, "case {case}: FIFO violated among ties");
                 }
             }
             last = Some((s.time, s.item));
         }
-    }
+    });
+}
 
-    /// Duration arithmetic is associative with respect to summation order.
-    #[test]
-    fn durations_sum_in_any_order(mut nanos in prop::collection::vec(0u64..1_000_000_000, 1..50)) {
+/// Duration arithmetic is associative with respect to summation order.
+#[test]
+fn durations_sum_in_any_order() {
+    forall(200, |case, rng| {
+        let mut nanos: Vec<u64> = (0..rng.gen_range(1..50usize))
+            .map(|_| rng.gen_range(0..1_000_000_000u64))
+            .collect();
         let forward: SimDuration = nanos.iter().map(|&n| SimDuration::from_nanos(n)).sum();
         nanos.reverse();
         let backward: SimDuration = nanos.iter().map(|&n| SimDuration::from_nanos(n)).sum();
-        prop_assert_eq!(forward, backward);
-    }
+        assert_eq!(forward, backward, "case {case}");
+    });
+}
 
-    /// Seed-tree streams are stable and label-independent.
-    #[test]
-    fn seed_tree_is_pure(seed in any::<u64>(), label in "[a-z/]{1,20}") {
+/// Seed-tree streams are stable and label-independent.
+#[test]
+fn seed_tree_is_pure() {
+    forall(500, |case, rng| {
+        let seed: u64 = rng.gen();
+        let len = rng.gen_range(1..20usize);
+        let label: String = (0..len)
+            .map(|_| {
+                let c = rng.gen_range(0..27u32);
+                if c == 26 {
+                    '/'
+                } else {
+                    char::from(b'a' + c as u8)
+                }
+            })
+            .collect();
         let a = SeedTree::new(seed).derive(&label);
         let b = SeedTree::new(seed).derive(&label);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b, "case {case}: label {label:?}");
+    });
 }
 
 // ------------------------------------------------------------- energy ----
 
-proptest! {
-    /// Splitting an interval never changes the integral:
-    /// E(a, c) = E(a, b) + E(b, c).
-    #[test]
-    fn power_trace_integral_is_additive(
-        points in prop::collection::vec((1u64..1_000, 0u32..10_000), 1..40),
-        split in 0u64..1_000_000,
-    ) {
+/// Splitting an interval never changes the integral:
+/// E(a, c) = E(a, b) + E(b, c).
+#[test]
+fn power_trace_integral_is_additive() {
+    forall(200, |case, rng| {
         let mut t = SimTime::ZERO;
         let mut trace = PowerTrace::new(t, Power::from_milliwatts(100.0));
-        for &(dt, mw) in &points {
-            t += SimDuration::from_micros(dt);
-            trace.set(t, Power::from_milliwatts(f64::from(mw)));
+        for _ in 0..rng.gen_range(1..40usize) {
+            t += SimDuration::from_micros(rng.gen_range(1..1_000u64));
+            trace.set(
+                t,
+                Power::from_milliwatts(f64::from(rng.gen_range(0..10_000u32))),
+            );
         }
         let end = t + SimDuration::from_micros(1);
         trace.finish(end);
+        let split = rng.gen_range(0..1_000_000u64);
         let mid = SimTime::from_nanos(split % end.as_nanos().max(1));
         let whole = trace.energy().as_microjoules();
         let parts = trace.energy_between(SimTime::ZERO, mid).as_microjoules()
             + trace.energy_between(mid, end).as_microjoules();
-        prop_assert!((whole - parts).abs() < 1e-6, "{whole} vs {parts}");
-    }
+        assert!(
+            (whole - parts).abs() < 1e-6,
+            "case {case}: {whole} vs {parts}"
+        );
+    });
+}
 
-    /// Ledger merge is addition: total(a ∪ b) = total(a) + total(b).
-    #[test]
-    fn ledger_merge_adds(cells in prop::collection::vec((0usize..4, 0usize..5, 0u32..1_000_000), 0..40)) {
+/// Ledger merge is addition: total(a ∪ b) = total(a) + total(b).
+#[test]
+fn ledger_merge_adds() {
+    forall(200, |case, rng| {
         let devices = Device::ALL;
         let routines = Routine::ALL;
         let mut a = EnergyLedger::new();
         let mut b = EnergyLedger::new();
-        for (i, &(d, r, uj)) in cells.iter().enumerate() {
+        for i in 0..rng.gen_range(0..40usize) {
+            let d = rng.gen_range(0..4usize);
+            let r = rng.gen_range(0..5usize);
+            let uj = rng.gen_range(0..1_000_000u32);
             let target = if i % 2 == 0 { &mut a } else { &mut b };
-            target.charge(devices[d], routines[r], Energy::from_microjoules(f64::from(uj)));
+            target.charge(
+                devices[d],
+                routines[r],
+                Energy::from_microjoules(f64::from(uj)),
+            );
         }
         let sum = a.total() + b.total();
         let mut merged = a.clone();
         merged.merge(&b);
-        prop_assert!((merged.total().as_microjoules() - sum.as_microjoules()).abs() < 1e-6);
-    }
+        assert!(
+            (merged.total().as_microjoules() - sum.as_microjoules()).abs() < 1e-6,
+            "case {case}"
+        );
+    });
 }
 
 // ------------------------------------------------------------ kernels ----
 
-fn arb_json(depth: u32) -> impl Strategy<Value = Json> {
-    let leaf = prop_oneof![
-        Just(Json::Null),
-        any::<bool>().prop_map(Json::Bool),
-        (-1e12f64..1e12).prop_map(|x| Json::Number((x * 1e4).round() / 1e4)),
-        "[ -~]{0,20}".prop_map(Json::String),
-    ];
-    leaf.prop_recursive(depth, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Object),
-        ]
-    })
+/// Builds a random JSON document of bounded depth.
+fn arb_json(rng: &mut SimRng, depth: u32) -> Json {
+    let pick = if depth == 0 {
+        rng.gen_range(0..4u32)
+    } else {
+        rng.gen_range(0..6u32)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => {
+            let x = rng.gen_range(-1e12..1e12f64);
+            Json::Number((x * 1e4).round() / 1e4)
+        }
+        3 => {
+            let len = rng.gen_range(0..20usize);
+            Json::String(
+                (0..len)
+                    .map(|_| char::from(rng.gen_range(b' '..=b'~')))
+                    .collect(),
+            )
+        }
+        4 => Json::Array(
+            (0..rng.gen_range(0..6usize))
+                .map(|_| arb_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Object(
+            (0..rng.gen_range(0..6usize))
+                .map(|_| {
+                    let klen = rng.gen_range(1..8usize);
+                    let key: String = (0..klen)
+                        .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+                        .collect();
+                    (key, arb_json(rng, depth - 1))
+                })
+                .collect(),
+        ),
+    }
 }
 
-proptest! {
-    /// Any JSON document we can build round-trips through text.
-    #[test]
-    fn json_round_trips(doc in arb_json(3)) {
+/// Any JSON document we can build round-trips through text.
+#[test]
+fn json_round_trips() {
+    forall(300, |case, rng| {
+        let doc = arb_json(rng, 3);
         let text = doc.to_text();
         let back = Json::parse(&text).expect("own output parses");
-        prop_assert_eq!(back, doc);
-    }
+        assert_eq!(back, doc, "case {case}");
+    });
+}
 
-    /// Any well-formed CoAP message round-trips through the wire format.
-    #[test]
-    fn coap_round_trips(
-        mid in any::<u16>(),
-        token in prop::collection::vec(any::<u8>(), 0..=8),
-        deltas in prop::collection::vec((1u16..700, prop::collection::vec(any::<u8>(), 0..300)), 0..6),
-        payload in prop::collection::vec(any::<u8>(), 0..200),
-    ) {
+/// Any well-formed CoAP message round-trips through the wire format.
+#[test]
+fn coap_round_trips() {
+    forall(300, |case, rng| {
         let mut number = 0u16;
         let mut options = Vec::new();
-        for (delta, value) in deltas {
+        for _ in 0..rng.gen_range(0..6usize) {
+            let delta = rng.gen_range(1..700u16);
+            let vlen = rng.gen_range(0..300usize);
             number = number.saturating_add(delta);
-            options.push(CoapOption { number, value });
+            options.push(CoapOption {
+                number,
+                value: (0..vlen).map(|_| rng.gen()).collect(),
+            });
         }
         let msg = CoapMessage {
             mtype: CoapType::NonConfirmable,
             code: CoapCode::CONTENT,
-            message_id: mid,
-            token,
+            message_id: rng.gen(),
+            token: (0..rng.gen_range(0..=8usize)).map(|_| rng.gen()).collect(),
             options,
-            payload,
+            payload: (0..rng.gen_range(0..200usize)).map(|_| rng.gen()).collect(),
         };
         let back = CoapMessage::decode(&msg.encode()).expect("decodes");
-        prop_assert_eq!(back, msg);
-    }
+        assert_eq!(back, msg, "case {case}");
+    });
+}
 
-    /// The JPEG pipeline round-trips any image above a quality floor, and
-    /// the decoder never panics on its own encoder's output.
-    #[test]
-    fn jpeg_round_trips_with_bounded_loss(
-        w in 8usize..40,
-        h in 8usize..40,
-        seed in any::<u64>(),
-        quality in 30u8..=95,
-    ) {
-        let mut x = seed | 1;
+/// The JPEG pipeline round-trips any image above a quality floor, and the
+/// decoder never panics on its own encoder's output.
+#[test]
+fn jpeg_round_trips_with_bounded_loss() {
+    forall(40, |case, rng| {
+        let w = rng.gen_range(8..40usize);
+        let h = rng.gen_range(8..40usize);
+        let quality = rng.gen_range(30..=95u8);
+        let mut x: u64 = rng.gen::<u64>() | 1;
         let pixels: Vec<u8> = (0..w * h)
             .map(|_| {
                 x ^= x << 13;
@@ -165,49 +245,60 @@ proptest! {
             })
             .collect();
         let decoded = jpeg::decode(&jpeg::encode(&pixels, w, h, quality)).expect("decodes");
-        prop_assert_eq!(decoded.len(), pixels.len());
+        assert_eq!(decoded.len(), pixels.len(), "case {case}");
         // Pure noise is the worst case for a DCT codec; demand only a
         // sanity floor.
-        prop_assert!(jpeg::psnr(&pixels, &decoded) > 10.0);
-    }
+        let psnr = jpeg::psnr(&pixels, &decoded);
+        assert!(psnr > 10.0, "case {case}: psnr {psnr}");
+    });
+}
 
-    /// The IDCT inverts the FDCT for arbitrary blocks.
-    #[test]
-    fn idct_inverts_fdct(vals in prop::collection::vec(-128.0f64..128.0, 64)) {
-        let mut block = [0.0; 64];
-        block.copy_from_slice(&vals);
+/// The IDCT inverts the FDCT for arbitrary blocks.
+#[test]
+fn idct_inverts_fdct() {
+    forall(300, |case, rng| {
+        let mut block = [0.0f64; 64];
+        for v in &mut block {
+            *v = rng.gen_range(-128.0..128.0f64);
+        }
         let back = jpeg::idct(&jpeg::fdct(&block));
         for (a, b) in block.iter().zip(back.iter()) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6, "case {case}: {a} vs {b}");
         }
-    }
+    });
+}
 
-    /// Content-defined chunking partitions the input exactly, within size
-    /// bounds.
-    #[test]
-    fn chunking_partitions_any_input(data in prop::collection::vec(any::<u8>(), 0..8_000)) {
+/// Content-defined chunking partitions the input exactly, within size
+/// bounds.
+#[test]
+fn chunking_partitions_any_input() {
+    forall(100, |case, rng| {
+        let data: Vec<u8> = (0..rng.gen_range(0..8_000usize))
+            .map(|_| rng.gen())
+            .collect();
         let cfg = ChunkConfig::default();
         let chunks = chunk(&data, &cfg);
         let mut pos = 0;
         for (i, c) in chunks.iter().enumerate() {
-            prop_assert_eq!(c.offset, pos);
-            prop_assert!(c.len <= cfg.max_chunk);
+            assert_eq!(c.offset, pos, "case {case}");
+            assert!(c.len <= cfg.max_chunk, "case {case}");
             if i + 1 != chunks.len() {
-                prop_assert!(c.len >= cfg.min_chunk);
+                assert!(c.len >= cfg.min_chunk, "case {case}");
             }
             pos += c.len;
         }
-        prop_assert_eq!(pos, data.len());
-    }
+        assert_eq!(pos, data.len(), "case {case}");
+    });
 }
 
 // ----------------------------------------------------------- platform ----
 
-proptest! {
-    /// Whatever the seed, the executor's structural counters equal the
-    /// Table II derivation, and energy orderings hold.
-    #[test]
-    fn executor_counters_hold_for_any_seed(seed in 0u64..5_000) {
+/// Whatever the seed, the executor's structural counters equal the Table II
+/// derivation, and energy orderings hold.
+#[test]
+fn executor_counters_hold_for_any_seed() {
+    forall(12, |case, rng| {
+        let seed = rng.gen_range(0..5_000u64);
         let run = |scheme| {
             Scenario::new(scheme, catalog::apps(&[AppId::A2], seed))
                 .windows(1)
@@ -215,12 +306,21 @@ proptest! {
                 .run()
         };
         let baseline = run(Scheme::Baseline);
-        prop_assert_eq!(baseline.interrupts, 1000);
-        prop_assert_eq!(baseline.bytes_transferred, 12_000);
+        assert_eq!(baseline.interrupts, 1000, "case {case} seed {seed}");
+        assert_eq!(
+            baseline.bytes_transferred, 12_000,
+            "case {case} seed {seed}"
+        );
         let batching = run(Scheme::Batching);
-        prop_assert_eq!(batching.interrupts, 1);
+        assert_eq!(batching.interrupts, 1, "case {case} seed {seed}");
         let com = run(Scheme::Com);
-        prop_assert!(batching.total_energy() < baseline.total_energy());
-        prop_assert!(com.total_energy() < batching.total_energy());
-    }
+        assert!(
+            batching.total_energy() < baseline.total_energy(),
+            "case {case} seed {seed}"
+        );
+        assert!(
+            com.total_energy() < batching.total_energy(),
+            "case {case} seed {seed}"
+        );
+    });
 }
