@@ -141,7 +141,8 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if a workload requests a sampling rate above its sensor's
-    /// Table I maximum, or periodic sampling from an on-demand sensor.
+    /// Table I maximum, periodic sampling from an on-demand sensor, or an
+    /// internally inconsistent [`Calibration`].
     #[must_use]
     pub fn run(self) -> RunResult {
         let Scenario {
@@ -154,7 +155,10 @@ impl Scenario {
             record_timeline,
             trace,
         } = self;
+        // An inconsistent calibration is a scenario-construction bug, part
+        // of run()'s documented panic contract above.
         cal.validate()
+            // iotse-lint: allow(IOTSE-E04) documented panic contract of run()
             .expect("calibration must be internally consistent");
 
         // Make sure signal schedules cover the run.
@@ -643,10 +647,9 @@ impl Exec {
     }
 
     fn try_complete_per_sample(&mut self, app: usize, window: u32) {
-        if !self.window_complete(app, window) {
+        let Some(pw) = self.take_if_complete(app, window) else {
             return;
-        }
-        let pw = self.take_window(app, window);
+        };
         let compute = self.apps[app].workload.resources().cpu_compute;
         let (_, end) = self
             .cpu
@@ -655,10 +658,9 @@ impl Exec {
     }
 
     fn try_complete_batched(&mut self, app: usize, window: u32) {
-        if !self.window_complete(app, window) {
+        let Some(mut pw) = self.take_if_complete(app, window) else {
             return;
-        }
-        let mut pw = self.take_window(app, window);
+        };
         // Flush: one interrupt, one bulk transfer of the whole batch.
         let int_end = self.interrupt(pw.ready);
         pw.processing.interrupt += self.cal.cpu_interrupt_handling;
@@ -682,10 +684,9 @@ impl Exec {
     }
 
     fn try_complete_offloaded(&mut self, app: usize, window: u32) {
-        if !self.window_complete(app, window) {
+        let Some(mut pw) = self.take_if_complete(app, window) else {
             return;
-        }
-        let mut pw = self.take_window(app, window);
+        };
         // Kernel runs on the MCU…
         let compute = self.apps[app].workload.resources().mcu_compute;
         let (_, mcu_done) = self.mcu.task(
@@ -726,18 +727,18 @@ impl Exec {
         self.apps[app].outcomes.push(outcome);
     }
 
-    fn window_complete(&self, app: usize, window: u32) -> bool {
-        self.apps[app]
+    /// Removes and returns `window`'s pending state iff every expected
+    /// sample has arrived; leaves it queued (and returns `None`) otherwise.
+    fn take_if_complete(&mut self, app: usize, window: u32) -> Option<PendingWindow> {
+        let complete = self.apps[app]
             .pending
             .get(&window)
-            .is_some_and(|pw| pw.received >= self.apps[app].expected)
-    }
-
-    fn take_window(&mut self, app: usize, window: u32) -> PendingWindow {
-        self.apps[app]
-            .pending
-            .remove(&window)
-            .expect("window exists")
+            .is_some_and(|pw| pw.received >= self.apps[app].expected);
+        if complete {
+            self.apps[app].pending.remove(&window)
+        } else {
+            None
+        }
     }
 
     fn finish_window(
@@ -783,7 +784,9 @@ impl Exec {
                 let tx_end = self.transfer(int_end, batch);
                 let dur = self.cal.transfer_time(batch);
                 let handling = self.cal.cpu_interrupt_handling;
-                let pw = self.apps[app].pending.get_mut(&w).expect("window exists");
+                let Some(pw) = self.apps[app].pending.get_mut(&w) else {
+                    continue;
+                };
                 pw.batch_bytes = 0;
                 pw.processing.interrupt += handling;
                 pw.processing.data_transfer += dur;

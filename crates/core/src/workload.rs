@@ -17,6 +17,7 @@ use iotse_sim::time::{SimDuration, SimTime};
 
 /// Identifies one of the paper's Table II workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+// lint: the variants are Table II app names; the enum doc covers them
 #[allow(missing_docs)]
 pub enum AppId {
     A1,

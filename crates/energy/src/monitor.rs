@@ -51,6 +51,7 @@ impl PowerTrace {
     /// finished.
     pub fn set(&mut self, now: SimTime, power: Power) {
         assert!(self.end.is_none(), "trace already finished");
+        // iotse-lint: allow(IOTSE-E04) points is non-empty from new() and never fully drained
         let (last_t, last_p) = *self.points.last().expect("trace has a start point");
         assert!(now >= last_t, "power trace must move forward in time");
         if power == last_p {
@@ -58,6 +59,7 @@ impl PowerTrace {
         }
         if now == last_t {
             // Same-instant update: replace rather than store a zero-width step.
+            // iotse-lint: allow(IOTSE-E04) points is non-empty from new() and never fully drained
             self.points.last_mut().expect("non-empty").1 = power;
             // Collapse if this made it equal to its predecessor.
             let n = self.points.len();
@@ -76,6 +78,7 @@ impl PowerTrace {
     ///
     /// Panics under the same conditions as [`PowerTrace::set`].
     pub fn adjust(&mut self, now: SimTime, delta: Power) {
+        // iotse-lint: allow(IOTSE-E04) points is non-empty from new() and never fully drained
         let current = self.points.last().expect("trace has a start point").1;
         self.set(now, current + delta);
     }
@@ -88,6 +91,7 @@ impl PowerTrace {
     /// already finished.
     pub fn finish(&mut self, end: SimTime) {
         assert!(self.end.is_none(), "trace already finished");
+        // iotse-lint: allow(IOTSE-E04) points is non-empty from new() and never fully drained
         let last_t = self.points.last().expect("trace has a start point").0;
         assert!(end >= last_t, "end precedes last change point");
         self.end = Some(end);
@@ -143,6 +147,7 @@ impl PowerTrace {
     /// Panics if the trace is not finished.
     #[must_use]
     pub fn energy(&self) -> Energy {
+        // iotse-lint: allow(IOTSE-E04) documented panic contract: integrate only finished traces
         let end = self.end.expect("finish() the trace before integrating");
         self.energy_between(self.start(), end)
     }
@@ -174,6 +179,7 @@ impl PowerTrace {
     /// Panics if the trace is not finished or has zero length.
     #[must_use]
     pub fn average_power(&self) -> Power {
+        // iotse-lint: allow(IOTSE-E04) documented panic contract: average only finished traces
         let end = self.end.expect("finish() the trace before averaging");
         self.energy().over(end - self.start())
     }
@@ -187,6 +193,7 @@ impl PowerTrace {
     #[must_use]
     pub fn sample(&self, interval: SimDuration) -> Vec<(SimTime, Power)> {
         assert!(!interval.is_zero(), "sampling interval must be positive");
+        // iotse-lint: allow(IOTSE-E04) documented panic contract: sample only finished traces
         let end = self.end.expect("finish() the trace before sampling");
         let mut rows = Vec::new();
         let mut t = self.start();

@@ -55,13 +55,23 @@ pub fn stacked_bar(n: &NormalizedBreakdown, width: usize) -> String {
     let mut drawn = 0usize;
     for (frac, glyph) in fracs.iter().zip(SEGMENT_GLYPHS) {
         acc += frac.max(0.0);
-        let target = (acc * width as f64).round() as usize;
+        let target = cells(acc, width);
         for _ in drawn..target {
             bar.push(glyph);
         }
         drawn = drawn.max(target);
     }
     bar
+}
+
+/// Converts a non-negative fraction of `width` columns into a cell count:
+/// round-half-away-from-zero, negatives clamped to zero. The single audited
+/// float→int site of the rendering code — after `.round().max(0.0)` the
+/// value is a small non-negative integer (`frac * width` is far below
+/// 2^53), so the cast can neither truncate nor wrap.
+fn cells(frac: f64, width: usize) -> usize {
+    // iotse-lint: allow(IOTSE-C05) audited conversion helper; see doc comment above
+    (frac * width as f64).round().max(0.0) as usize
 }
 
 /// One labeled row of a breakdown chart.
@@ -133,7 +143,7 @@ pub fn value_chart(title: &str, rows: &[(String, f64)], unit: &str, width: usize
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     for (label, v) in rows {
-        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        let n = cells(v / max, width);
         let _ = writeln!(
             out,
             "  {label:<label_w$} |{:<width$}| {v:8.2} {unit}",

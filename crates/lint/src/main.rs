@@ -1,0 +1,87 @@
+//! The `iotse-lint` command-line interface.
+//!
+//! ```text
+//! cargo run -p iotse-lint -- check             # text report, exit 1 on findings
+//! cargo run -p iotse-lint -- check --json      # machine-readable report
+//! cargo run -p iotse-lint -- check --root DIR  # scan another tree (fixtures)
+//! cargo run -p iotse-lint -- explain           # list the rule catalogue
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use iotse_lint::{report, rules, run_check};
+
+/// Writes to stdout, swallowing errors: a closed pipe (`iotse-lint … | head`)
+/// must truncate the report, not panic the analyzer. The exit code still
+/// reflects the findings.
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("iotse-lint: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: iotse-lint check [--json] [--root DIR] | iotse-lint explain";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    match command.as_str() {
+        "explain" => {
+            for (id, summary) in rules::ALL {
+                emit(&format!("{id}  {summary}\n"));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let mut json = false;
+            let mut root = PathBuf::from(".");
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--root" => {
+                        root = PathBuf::from(
+                            rest.next()
+                                .ok_or_else(|| "--root needs a path".to_string())?,
+                        );
+                    }
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            let findings = run_check(&root).map_err(|e| e.to_string())?;
+            if json {
+                emit(&report::json(&findings));
+            } else {
+                emit(&report::text(&findings));
+                if !findings.is_empty() {
+                    eprintln!(
+                        "iotse-lint: {} finding(s); see DESIGN.md `Static guarantees` \
+                         or run `iotse-lint explain`",
+                        findings.len()
+                    );
+                }
+            }
+            if findings.is_empty() {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

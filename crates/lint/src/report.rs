@@ -1,0 +1,104 @@
+//! Rendering findings as text or JSON.
+//!
+//! The text form is one `file:line: RULE-ID message` per line — the same
+//! shape compilers emit, so editors and CI log scrapers pick the locations
+//! up for free. The JSON form is hand-rolled (std-only workspace) with a
+//! **stable field order** (`file`, `line`, `rule`, `message`) so downstream
+//! tooling can diff reports byte-for-byte.
+
+use crate::Finding;
+
+/// Renders the classic compiler-style text report (one line per finding,
+/// trailing newline iff non-empty).
+#[must_use]
+pub fn text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: {} {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    out
+}
+
+/// Renders the machine-readable report: an object with a `findings` array
+/// (stable per-finding field order) and a `count`.
+#[must_use]
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            escape(&f.file),
+            f.line,
+            escape(f.rule),
+            escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding::at(
+                "a.rs",
+                3,
+                "IOTSE-E04",
+                "`.unwrap()` in \"library\" code".to_string(),
+            ),
+            Finding::at("b.rs", 1, "IOTSE-W01", "wall-clock `Instant`".to_string()),
+        ]
+    }
+
+    #[test]
+    fn text_is_compiler_shaped() {
+        let t = text(&sample());
+        assert!(t.starts_with("a.rs:3: IOTSE-E04 "));
+        assert_eq!(t.lines().count(), 2);
+        assert_eq!(text(&[]), "");
+    }
+
+    #[test]
+    fn json_has_stable_order_and_escaping() {
+        let j = json(&sample());
+        let file_pos = j.find("\"file\"").expect("file key");
+        let line_pos = j.find("\"line\"").expect("line key");
+        let rule_pos = j.find("\"rule\"").expect("rule key");
+        let msg_pos = j.find("\"message\"").expect("message key");
+        assert!(file_pos < line_pos && line_pos < rule_pos && rule_pos < msg_pos);
+        assert!(j.contains("\\\"library\\\""), "quotes escaped: {j}");
+        assert!(j.ends_with("\"count\": 2\n}\n"));
+        assert_eq!(json(&[]), "{\n  \"findings\": [],\n  \"count\": 0\n}\n");
+    }
+}

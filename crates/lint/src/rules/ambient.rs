@@ -1,0 +1,60 @@
+//! `IOTSE-D03` — no ambient state in deterministic crates.
+//!
+//! Three ways host state can leak into a simulation: mutable globals
+//! (`static mut`), OS-seeded randomness (`thread_rng`/`from_entropy`
+//! idioms), and environment variables (`std::env`). All replay/determinism
+//! guarantees die with any of them; randomness must come from the seeded
+//! `SimRng` tree and configuration from explicit arguments.
+
+use crate::scan::{find_word, FileKind, SourceFile};
+use crate::{rules::DETERMINISTIC_CRATES, Finding};
+
+/// Rule ID.
+pub const ID: &str = "IOTSE-D03";
+/// One-line summary for `explain`.
+pub const SUMMARY: &str =
+    "no static mut, OS-seeded randomness, or std::env reads in deterministic crates";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let scoped =
+        DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) || file.crate_name == "apps";
+    if file.kind == FileKind::Test || !scoped {
+        return;
+    }
+    for (i, line) in file.code.iter().enumerate() {
+        let lineno = i + 1;
+        if file.in_test_span(lineno) {
+            continue;
+        }
+        if line.contains("static mut ") {
+            out.push(Finding::new(
+                file,
+                lineno,
+                ID,
+                "`static mut` global — pass state explicitly; ambient mutation breaks replay"
+                    .to_string(),
+            ));
+        }
+        for word in ["thread_rng", "from_entropy"] {
+            if find_word(line, word).is_some() {
+                out.push(Finding::new(
+                    file,
+                    lineno,
+                    ID,
+                    format!("OS-seeded randomness `{word}` — derive from the seeded SimRng tree"),
+                ));
+            }
+        }
+        if line.contains("std::env") {
+            out.push(Finding::new(
+                file,
+                lineno,
+                ID,
+                "`std::env` read — environment must not influence simulation results; \
+                 take configuration as arguments"
+                    .to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `IOTSE-C05` — no bare numeric `as` casts in energy accounting.
+//!
+//! In `crates/energy`, a silent `as` between float and integer truncates
+//! joules into buckets (or widths into columns) with no audit trail.
+//! Conversions there must go through a named helper whose rounding policy
+//! is documented; the helper's single cast site carries a justified
+//! suppression.
+
+use crate::scan::{FileKind, SourceFile};
+use crate::Finding;
+
+/// Rule ID.
+pub const ID: &str = "IOTSE-C05";
+/// One-line summary for `explain`.
+pub const SUMMARY: &str =
+    "bare `as` numeric casts in crates/energy must go through an audited conversion helper";
+
+/// Numeric primitive types a cast may target.
+const NUMERIC: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib || file.crate_name != "energy" {
+        return;
+    }
+    for (i, line) in file.code.iter().enumerate() {
+        let lineno = i + 1;
+        if file.in_test_span(lineno) {
+            continue;
+        }
+        for ty in cast_targets(line) {
+            out.push(Finding::new(
+                file,
+                lineno,
+                ID,
+                format!(
+                    "bare `as {ty}` cast in energy accounting — use an audited conversion \
+                     helper with a documented rounding policy"
+                ),
+            ));
+        }
+    }
+}
+
+/// Numeric types targeted by `as` casts on this (code-view) line.
+fn cast_targets(line: &str) -> Vec<&'static str> {
+    let mut found = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find(" as ") {
+        let after = rest[pos + 4..].trim_start();
+        if let Some(&ty) = NUMERIC.iter().find(|&&ty| {
+            after.starts_with(ty)
+                && !after[ty.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        }) {
+            found.push(ty);
+        }
+        rest = &rest[pos + 4..];
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_numeric_targets_only() {
+        assert_eq!(
+            cast_targets("let x = e as usize + t as f64;"),
+            vec!["usize", "f64"]
+        );
+        assert_eq!(cast_targets("let y = x as MyType;"), Vec::<&str>::new());
+        assert_eq!(cast_targets("let z = x as u64x;"), Vec::<&str>::new());
+    }
+}

@@ -1,0 +1,152 @@
+//! `IOTSE-P08` — public items in `core` need doc comments.
+//!
+//! `crates/core` is the workspace's public model API; every `pub` item
+//! (fn/struct/enum/trait/const/static/type/mod) must carry a `///` doc
+//! comment (or explicit `#[doc]`). `pub use` re-exports and restricted
+//! `pub(crate)`/`pub(super)` items are out of scope — so is anything
+//! `rustc`'s `missing_docs` would skip, this is the belt to its braces.
+
+use crate::scan::{FileKind, SourceFile};
+use crate::Finding;
+
+/// Rule ID.
+pub const ID: &str = "IOTSE-P08";
+/// One-line summary for `explain`.
+pub const SUMMARY: &str = "every pub item in crates/core must have a /// doc comment";
+
+/// Item keywords that introduce a documentable public item.
+const ITEMS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+];
+/// Modifiers that may sit between `pub` and the item keyword.
+const MODIFIERS: &[&str] = &["async", "unsafe", "extern", "\"C\""];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib || file.crate_name != "core" {
+        return;
+    }
+    for (i, line) in file.code.iter().enumerate() {
+        let lineno = i + 1;
+        if file.in_test_span(lineno) {
+            continue;
+        }
+        let Some((item, name)) = pub_item(line) else {
+            continue;
+        };
+        // `pub mod x;` is documented by x.rs's own `//!` header.
+        if item == "mod" && line.trim_end().ends_with(';') {
+            continue;
+        }
+        if !documented(file, i) {
+            out.push(Finding::new(
+                file,
+                lineno,
+                ID,
+                format!("public {item} `{name}` lacks a doc comment (///)"),
+            ));
+        }
+    }
+}
+
+/// If this code-view line declares a plain-`pub` item, returns
+/// `(item keyword, name)`.
+fn pub_item(line: &str) -> Option<(&'static str, String)> {
+    let rest = line.trim().strip_prefix("pub ")?;
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    let mut i = 0;
+    while toks.get(i).is_some_and(|t| MODIFIERS.contains(t)) {
+        i += 1;
+    }
+    let item: &'static str = match *toks.get(i)? {
+        "const" if toks.get(i + 1) == Some(&"fn") => "fn",
+        t => ITEMS.iter().find(|&&k| k == t)?,
+    };
+    if item == "fn" && toks.get(i) == Some(&"const") {
+        i += 1;
+    }
+    let name = toks
+        .get(i + 1)?
+        .trim_end_matches(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .next()
+        .unwrap_or("")
+        .to_string();
+    if name.is_empty() {
+        return None;
+    }
+    Some((item, name))
+}
+
+/// Walks upward over attribute lines looking for a `///` or `#[doc`.
+fn documented(file: &SourceFile, mut idx: usize) -> bool {
+    while idx > 0 {
+        idx -= 1;
+        let comment = file.comments[idx].trim();
+        if comment.starts_with("///") {
+            return true;
+        }
+        let code = file.code[idx].trim();
+        if code.contains("#[doc") {
+            return true;
+        }
+        // Skip over attributes (possibly multi-line) between the doc
+        // comment and the item; anything else ends the search.
+        let is_attr_ish = code.starts_with("#[")
+            || code.ends_with(")]")
+            || (code.is_empty() && !comment.is_empty());
+        if !is_attr_ish {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_pub_items() {
+        assert_eq!(
+            pub_item("pub fn run(x: u8) {"),
+            Some(("fn", "run".to_string()))
+        );
+        assert_eq!(
+            pub_item("pub struct Hub {"),
+            Some(("struct", "Hub".to_string()))
+        );
+        assert_eq!(
+            pub_item("pub const MAX: usize = 3;"),
+            Some(("const", "MAX".to_string()))
+        );
+        assert_eq!(
+            pub_item("pub const fn zero() -> u8 {"),
+            Some(("fn", "zero".to_string()))
+        );
+        assert_eq!(pub_item("pub use crate::x;"), None);
+        assert_eq!(pub_item("pub(crate) fn hidden() {}"), None);
+        assert_eq!(pub_item("let x = 1;"), None);
+    }
+
+    #[test]
+    fn external_mod_decls_are_exempt() {
+        let src = "pub mod admission;\npub mod inline { }";
+        let f = SourceFile::parse("crates/core/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`inline`"));
+    }
+
+    #[test]
+    fn doc_detection_walks_over_attributes() {
+        let src = "/// Documented.\n#[derive(Debug)]\npub struct A;\npub struct B;";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("`B`"));
+    }
+}

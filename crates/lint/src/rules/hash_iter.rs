@@ -1,0 +1,45 @@
+//! `IOTSE-D02` — no hash-ordered collections in deterministic crates.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState`, so any
+//! result assembled by walking one is nondeterministic across runs. The
+//! deterministic crates must use `BTreeMap`/`BTreeSet` (or a sorted `Vec`)
+//! anywhere a collection can reach a result path; rather than guess which
+//! uses iterate, the rule bans the types outright — an order-insensitive
+//! use can carry a justified suppression.
+
+use crate::scan::{find_word, FileKind, SourceFile};
+use crate::{rules::DETERMINISTIC_CRATES, Finding};
+
+/// Rule ID.
+pub const ID: &str = "IOTSE-D02";
+/// One-line summary for `explain`.
+pub const SUMMARY: &str =
+    "HashMap/HashSet are banned in deterministic crates (core/sim/energy/sensors); use BTreeMap";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind == FileKind::Test || !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for (i, line) in file.code.iter().enumerate() {
+        let lineno = i + 1;
+        if file.in_test_span(lineno) {
+            continue;
+        }
+        for word in ["HashMap", "HashSet"] {
+            if find_word(line, word).is_some() {
+                out.push(Finding::new(
+                    file,
+                    lineno,
+                    ID,
+                    format!(
+                        "`{word}` in deterministic crate `{}` — iteration order is \
+                         nondeterministic; use `BTree{}`",
+                        file.crate_name,
+                        &word[4..],
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The rule set.
+//!
+//! Each rule is one module exporting an `ID`, a short `SUMMARY`, and a
+//! `check` function. Per-file rules take one [`SourceFile`]; the
+//! paper-constant audit ([`table1`]) takes the whole workspace because it
+//! joins sources against `specs/table1.toml`.
+//!
+//! | ID | rule |
+//! |----|------|
+//! | `IOTSE-W01` | no wall-clock reads outside the bench stopwatch |
+//! | `IOTSE-D02` | no hash-ordered collections in deterministic crates |
+//! | `IOTSE-D03` | no ambient state (`static mut`, thread rng, `std::env`) |
+//! | `IOTSE-E04` | no `unwrap`/`expect`/`panic!` in model library code |
+//! | `IOTSE-C05` | no bare numeric `as` casts in energy accounting |
+//! | `IOTSE-T06` | source constants must match `specs/table1.toml` |
+//! | `IOTSE-A07` | every `#[allow]` needs a `// lint:` justification |
+//! | `IOTSE-P08` | public items in `core` need doc comments |
+
+pub mod allow_inventory;
+pub mod ambient;
+pub mod casts;
+pub mod doc_coverage;
+pub mod hash_iter;
+pub mod table1;
+pub mod unwrap_panic;
+pub mod wallclock;
+
+/// Crates whose library code must be deterministic and replayable.
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "sim", "energy", "sensors"];
+
+/// Crates whose library code must not panic (rule `IOTSE-E04`).
+pub const NO_PANIC_CRATES: &[&str] = &["core", "sim", "energy"];
+
+/// `(id, summary)` for every rule, in ID order — the `explain` listing.
+pub const ALL: &[(&str, &str)] = &[
+    (wallclock::ID, wallclock::SUMMARY),
+    (hash_iter::ID, hash_iter::SUMMARY),
+    (ambient::ID, ambient::SUMMARY),
+    (unwrap_panic::ID, unwrap_panic::SUMMARY),
+    (casts::ID, casts::SUMMARY),
+    (table1::ID, table1::SUMMARY),
+    (allow_inventory::ID, allow_inventory::SUMMARY),
+    (doc_coverage::ID, doc_coverage::SUMMARY),
+];

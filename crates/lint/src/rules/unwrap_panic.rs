@@ -1,0 +1,45 @@
+//! `IOTSE-E04` — no `unwrap`/`expect`/`panic!` in model library code.
+//!
+//! The model crates (`core`/`sim`/`energy`) are meant to be embeddable; a
+//! panic in a library path takes the host down with it. Fallible paths
+//! should return typed errors. A genuinely unreachable state may keep a
+//! documented-invariant `expect` under a justified suppression.
+
+use crate::scan::{FileKind, SourceFile};
+use crate::{rules::NO_PANIC_CRATES, Finding};
+
+/// Rule ID.
+pub const ID: &str = "IOTSE-E04";
+/// One-line summary for `explain`.
+pub const SUMMARY: &str =
+    "no .unwrap()/.expect()/panic! in library code of core/sim/energy; return typed errors";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib || !NO_PANIC_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for (i, line) in file.code.iter().enumerate() {
+        let lineno = i + 1;
+        if file.in_test_span(lineno) {
+            continue;
+        }
+        for (pat, what) in [
+            (".unwrap()", "`.unwrap()`"),
+            (".expect(", "`.expect(..)`"),
+            ("panic!", "`panic!`"),
+        ] {
+            if line.contains(pat) {
+                out.push(Finding::new(
+                    file,
+                    lineno,
+                    ID,
+                    format!(
+                        "{what} in library code — return a typed error, or document the \
+                         invariant and suppress"
+                    ),
+                ));
+            }
+        }
+    }
+}

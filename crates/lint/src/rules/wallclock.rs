@@ -1,0 +1,43 @@
+//! `IOTSE-W01` — no wall-clock reads outside the bench stopwatch.
+//!
+//! `std::time::Instant` and `SystemTime` leak host time into results; all
+//! simulated time must flow through `SimTime`/`SimDuration`. Real-time
+//! measurement is quarantined in `crates/bench/src/stopwatch.rs`.
+
+use crate::scan::{find_word, FileKind, SourceFile};
+use crate::Finding;
+
+/// Rule ID.
+pub const ID: &str = "IOTSE-W01";
+/// One-line summary for `explain`.
+pub const SUMMARY: &str =
+    "wall-clock reads (Instant/SystemTime) are only allowed in crates/bench/src/stopwatch.rs";
+
+/// Files allowed to read the host clock.
+const ALLOWLIST: &[&str] = &["crates/bench/src/stopwatch.rs"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind == FileKind::Test || ALLOWLIST.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    for (i, line) in file.code.iter().enumerate() {
+        let lineno = i + 1;
+        if file.in_test_span(lineno) {
+            continue;
+        }
+        for word in ["Instant", "SystemTime"] {
+            if find_word(line, word).is_some() {
+                out.push(Finding::new(
+                    file,
+                    lineno,
+                    ID,
+                    format!(
+                        "wall-clock `{word}` — use SimTime/SimDuration; host timing belongs in {}",
+                        ALLOWLIST[0]
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! A miniature TOML reader, just big enough for `specs/table1.toml`.
+//!
+//! Supports `[section]` tables, `[[section]]` arrays of tables, and
+//! `key = value` lines where the value is a bool, a number, a quoted string,
+//! or a quoted **numeric expression** (products/quotients of literals, e.g.
+//! `"5.0 * 13.0 / 77.0"`). Expressions let the ground-truth file state a
+//! fitted constant exactly the way the source does, so the comparison is
+//! bit-exact instead of decimal-rounded.
+
+use std::collections::BTreeMap;
+
+/// One parsed value, with the line it was defined on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A boolean literal.
+    Bool(bool),
+    /// A number (possibly from a quoted expression).
+    Num(f64),
+    /// A non-numeric quoted string.
+    Str(String),
+}
+
+/// A `key = value` table with per-key line numbers.
+pub type Table = BTreeMap<String, (usize, Value)>;
+
+/// The parsed file: named single tables and named arrays of tables.
+#[derive(Debug, Default)]
+pub struct Document {
+    /// `[name]` tables.
+    pub tables: BTreeMap<String, (usize, Table)>,
+    /// `[[name]]` arrays, in file order.
+    pub arrays: BTreeMap<String, Vec<(usize, Table)>>,
+}
+
+/// Parses `text`.
+///
+/// # Errors
+///
+/// Returns `(line, message)` for the first malformed line.
+pub fn parse(text: &str) -> Result<Document, (usize, String)> {
+    enum Target {
+        None,
+        Table(String),
+        Array(String),
+    }
+    let mut doc = Document::default();
+    let mut target = Target::None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            doc.arrays
+                .entry(name.clone())
+                .or_default()
+                .push((lineno, Table::new()));
+            target = Target::Array(name);
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            doc.tables
+                .entry(name.clone())
+                .or_insert((lineno, Table::new()));
+            target = Target::Table(name);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err((lineno, format!("expected key = value, got `{line}`")));
+        };
+        let key = line[..eq].trim().to_string();
+        let value = parse_value(line[eq + 1..].trim())
+            .map_err(|e| (lineno, format!("bad value for `{key}`: {e}")))?;
+        let table = match &target {
+            Target::None => return Err((lineno, "key outside any [section]".to_string())),
+            Target::Table(name) => &mut doc.tables.get_mut(name).expect("just inserted").1,
+            Target::Array(name) => {
+                &mut doc
+                    .arrays
+                    .get_mut(name)
+                    .and_then(|v| v.last_mut())
+                    .expect("just inserted")
+                    .1
+            }
+        };
+        table.insert(key, (lineno, value));
+    }
+    Ok(doc)
+}
+
+/// Removes a `#` comment, respecting double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    match v {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(inner) = v.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        // A quoted numeric expression evaluates to a number; anything else
+        // stays a string.
+        if let Ok(n) = eval_expr(inner) {
+            return Ok(Value::Num(n));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    eval_expr(v).map(Value::Num)
+}
+
+/// Evaluates a product/quotient chain of numeric literals
+/// (`80 * 1024`, `5.0 * 13.0 / 77.0`). Underscore separators are accepted.
+pub fn eval_expr(expr: &str) -> Result<f64, String> {
+    let mut acc: Option<f64> = None;
+    let mut op = b'*';
+    for tok in expr.split_whitespace().flat_map(split_ops) {
+        match tok.as_str() {
+            "*" | "/" => {
+                if acc.is_none() {
+                    return Err(format!("operator before operand in `{expr}`"));
+                }
+                op = tok.as_bytes()[0];
+            }
+            t => {
+                let n: f64 = t
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| format!("not a number: `{t}`"))?;
+                acc = Some(match (acc, op) {
+                    (None, _) => n,
+                    (Some(a), b'*') => a * n,
+                    (Some(a), _) => a / n,
+                });
+            }
+        }
+    }
+    acc.ok_or_else(|| format!("empty expression `{expr}`"))
+}
+
+/// Splits a whitespace-free token around `*` and `/` (so `80*1024` works).
+fn split_ops(tok: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in tok.chars() {
+        if ch == '*' || ch == '/' {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            out.push(ch.to_string());
+        } else {
+            cur.push(ch);
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_values() {
+        let doc = parse(
+            "# header\n[platform]\ncpu_active_w = 5.0\nmcu_memory_bytes = 80 * 1024\n\n[[sensor]]\nid = \"S1\"\nmcu_friendly = true\n[[sensor]]\nid = \"S2\"\nmax_rate_hz = 1_000_000.0\n",
+        )
+        .expect("parses");
+        let (_, platform) = &doc.tables["platform"];
+        assert_eq!(platform["cpu_active_w"].1, Value::Num(5.0));
+        assert_eq!(platform["mcu_memory_bytes"].1, Value::Num(81920.0));
+        let sensors = &doc.arrays["sensor"];
+        assert_eq!(sensors.len(), 2);
+        assert_eq!(sensors[0].1["id"].1, Value::Str("S1".into()));
+        assert_eq!(sensors[0].1["mcu_friendly"].1, Value::Bool(true));
+        assert_eq!(sensors[1].1["max_rate_hz"].1, Value::Num(1_000_000.0));
+    }
+
+    #[test]
+    fn quoted_expressions_become_numbers() {
+        let doc = parse("[p]\nx = \"5.0 * 13.0 / 77.0\"\nname = \"Barometer\"\n").expect("parses");
+        let (_, p) = &doc.tables["p"];
+        assert_eq!(p["x"].1, Value::Num(5.0 * 13.0 / 77.0));
+        assert_eq!(p["name"].1, Value::Str("Barometer".into()));
+    }
+
+    #[test]
+    fn comments_and_line_numbers() {
+        let doc = parse("[p] # section\nx = 1 # one\n").expect("parses");
+        let (_, p) = &doc.tables["p"];
+        assert_eq!(p["x"].0, 2);
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let err = parse("[p]\nbogus\n").expect_err("malformed");
+        assert_eq!(err.0, 2);
+        let err = parse("x = 1\n").expect_err("no section");
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn eval_handles_dense_and_spaced() {
+        assert_eq!(eval_expr("80*1024").expect("ok"), 81920.0);
+        assert_eq!(eval_expr("24 * 1024").expect("ok"), 24576.0);
+        assert!(eval_expr("abc").is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: the allowlisted stopwatch file — host-clock reads here are the
+//! point of the file and must produce no `IOTSE-W01` findings.
+
+use std::time::Instant;
+
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed())
+}

@@ -1,0 +1,10 @@
+//! Fixture: integration tests are exempt from the determinism rules — no
+//! findings for the host-clock read or the unwrap below.
+
+use std::time::Instant;
+
+#[test]
+fn timing_tests_may_read_the_host_clock() {
+    let t = Instant::now();
+    let _ = Some(t.elapsed()).unwrap();
+}

@@ -1,0 +1,13 @@
+//! Fixture: platform-constant audit — `cpu_sleep` drifts from the ground
+//! truth; the other fields match.
+
+impl Calibration {
+    /// The fixture platform.
+    pub fn paper() -> Self {
+        Calibration {
+            cpu_active: Power::from_watts(5.0),
+            cpu_sleep: Power::from_watts(2.0), // IOTSE-T06: truth says 1.5 W
+            mcu_memory_bytes: 80 * 1024,
+        }
+    }
+}

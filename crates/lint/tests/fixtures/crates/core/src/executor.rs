@@ -1,0 +1,17 @@
+//! Fixture: panicking library code in a no-panic crate.
+
+/// Unwraps its input — must produce an `IOTSE-E04` finding.
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap() // IOTSE-E04
+}
+
+/// A documented-invariant expect under a justified suppression — clean.
+pub fn must(v: Option<u32>) -> u32 {
+    // iotse-lint: allow(IOTSE-E04) fixture: documented invariant expect
+    v.expect("fixture invariant: caller checked is_some")
+}
+
+/// Explicit panic — must produce an `IOTSE-E04` finding.
+pub fn boom() {
+    panic!("fixture"); // IOTSE-E04
+}

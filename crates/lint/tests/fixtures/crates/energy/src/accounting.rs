@@ -1,0 +1,14 @@
+//! Fixture: bare numeric casts in energy accounting and the `#[allow]`
+//! justification inventory.
+
+/// Truncates joules into a bucket index — must produce `IOTSE-C05`.
+pub fn bucket(joules: f64) -> usize {
+    joules as usize // IOTSE-C05
+}
+
+// lint: fixture: a justified suppression carries this marker — clean
+#[allow(dead_code)]
+fn justified() {}
+
+#[allow(dead_code)] // IOTSE-A07: justification marker absent
+fn unjustified() {}

@@ -1,0 +1,51 @@
+//! Fixture: Table I audit — S1 matches the ground truth exactly, S2 has a
+//! drifted read time, and S6 is absent from the TOML entirely.
+
+pub fn barometer() -> SensorSpec {
+    SensorSpec {
+        id: SensorId::S1,
+        name: "Barometer",
+        bus: BusKind::Spi,
+        read_time: SimDuration::from_micros(37_500),
+        power_min: mw(2.12),
+        power_typical: mw(19.47),
+        power_max: mw(28.93),
+        payload: PayloadKind::Double,
+        max_rate_hz: Some(157.0),
+        qos_rate_hz: Some(10.0),
+        mcu_friendly: true,
+    }
+}
+
+pub fn temperature() -> SensorSpec {
+    SensorSpec {
+        id: SensorId::S2,
+        name: "Temperature",
+        bus: BusKind::I2c,
+        read_time: SimDuration::from_micros(20_000), // IOTSE-T06: truth says 18_750 us
+        power_min: mw(1.0),
+        power_typical: mw(13.5),
+        power_max: mw(20.0),
+        payload: PayloadKind::Double,
+        max_rate_hz: Some(120.0),
+        qos_rate_hz: Some(10.0),
+        mcu_friendly: true,
+    }
+}
+
+pub fn pulse() -> SensorSpec {
+    // IOTSE-T06: this whole sensor is missing from the ground truth
+    SensorSpec {
+        id: SensorId::S6,
+        name: "Pulse",
+        bus: BusKind::Analog,
+        read_time: SimDuration::from_micros(100),
+        power_min: mw(9.9),
+        power_typical: mw(15.0),
+        power_max: mw(22.0),
+        payload: PayloadKind::Int,
+        max_rate_hz: Some(1_000_000.0),
+        qos_rate_hz: Some(1_000.0),
+        mcu_friendly: true,
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: wall-clock reads, hash-ordered collections and ambient state in
+//! a deterministic crate. Every marked line must produce a finding; the
+//! suppressed and `#[cfg(test)]` lines must not.
+
+use std::collections::HashMap; // IOTSE-D02
+use std::time::Instant; // IOTSE-W01
+
+pub static mut TICKS: u64 = 0; // IOTSE-D03
+
+pub fn elapsed_ms() -> u128 {
+    let started = Instant::now(); // IOTSE-W01
+    started.elapsed().as_millis()
+}
+
+pub fn suppressed_read() -> u128 {
+    // iotse-lint: allow(IOTSE-W01) fixture: an honoured per-line suppression
+    let started = Instant::now();
+    started.elapsed().as_millis()
+}
+
+pub fn lookup(config: &HashMap<String, u64>) -> u64 {
+    // IOTSE-D02 above; IOTSE-D03 (env) and IOTSE-E04 (unwrap) below
+    let raw = std::env::var("IOTSE_SEED").unwrap();
+    let mut rng = thread_rng(); // IOTSE-D03
+    raw.len() as u64 + rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_use_the_host_clock_and_unwrap() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+        let _ = Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,103 @@
+//! Golden-output test: the analyzer runs over its own fixture tree and the
+//! full report — text and JSON — must match the checked-in
+//! `tests/fixtures/expected.txt` / `expected.json` byte for byte. Regenerate
+//! with `UPDATE_GOLDEN=1 cargo test -p iotse-lint --test golden` (the same
+//! convention as PR 1's golden CSVs).
+
+use std::path::{Path, PathBuf};
+
+use iotse_lint::{report, rules, run_check, Finding};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    run_check(&fixtures_root()).expect("fixture tree scans cleanly")
+}
+
+fn check_golden(rendered: &str, golden: &Path) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden, rendered).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDEN=1 cargo test -p iotse-lint --test golden",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        want,
+        "report drifted from {}; rerun with UPDATE_GOLDEN=1 if intentional",
+        golden.display()
+    );
+}
+
+#[test]
+fn fixture_report_matches_golden_text() {
+    check_golden(
+        &report::text(&fixture_findings()),
+        &fixtures_root().join("expected.txt"),
+    );
+}
+
+#[test]
+fn fixture_report_matches_golden_json() {
+    check_golden(
+        &report::json(&fixture_findings()),
+        &fixtures_root().join("expected.json"),
+    );
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_tree() {
+    let findings = fixture_findings();
+    for (id, _) in rules::ALL {
+        assert!(
+            findings.iter().any(|f| f.rule == *id),
+            "rule {id} produced no finding on the fixture tree"
+        );
+    }
+}
+
+#[test]
+fn allowlisted_suppressed_and_test_code_stay_silent() {
+    let findings = fixture_findings();
+    for f in &findings {
+        assert!(
+            !f.file.contains("bench/src/stopwatch.rs"),
+            "allowlisted stopwatch flagged: {f:?}"
+        );
+        assert!(
+            !f.file.contains("/tests/"),
+            "test-only fixture code flagged: {f:?}"
+        );
+    }
+    // The suppressed `Instant::now()` in clock.rs must not reappear: every
+    // W01 finding there sits on an unsuppressed line.
+    let clock = "crates/sim/src/clock.rs";
+    let clock_w01 = findings
+        .iter()
+        .filter(|f| f.file == clock && f.rule == "IOTSE-W01")
+        .count();
+    assert_eq!(
+        clock_w01, 2,
+        "expected exactly the two unsuppressed W01 hits"
+    );
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let findings = run_check(&workspace_root()).expect("workspace scans cleanly");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report::text(&findings)
+    );
+}

@@ -23,7 +23,7 @@
 //! one scenario, and an occasional rebuild is cheaper than an LRU chain.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub const MAX_ENTRIES: usize = 64;
 
 /// Identifies one cached artifact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct CacheKey {
     /// Which artifact family (`"ecg/beats"`, `"audio/utterances"`, …).
     domain: &'static str,
@@ -41,14 +41,17 @@ struct CacheKey {
     config: u64,
 }
 
-type Shelf = HashMap<CacheKey, Arc<dyn Any + Send + Sync>>;
+// An ordered map keeps the shelf's layout independent of `RandomState`, so
+// diagnostics that walk it (and the IOTSE-D02 determinism lint) stay happy;
+// lookups here are far from hot enough for the log(n) to matter.
+type Shelf = BTreeMap<CacheKey, Arc<dyn Any + Send + Sync>>;
 
 static CACHE: OnceLock<Mutex<Shelf>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
 fn shelf() -> &'static Mutex<Shelf> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Folds a sequence of words into a config fingerprint (FNV-1a over u64s).

@@ -13,6 +13,7 @@ use crate::bus::BusKind;
 /// configuration (ArduCAM mini); [`SensorId::S10Hi`] is the same table row's
 /// high-resolution configuration, the paper's one MCU-*unfriendly* sensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+// lint: the variants are Table I row names; the enum doc covers them
 #[allow(missing_docs)]
 pub enum SensorId {
     S1,

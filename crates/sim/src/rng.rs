@@ -135,6 +135,7 @@ pub trait Sample {
 macro_rules! impl_sample_int {
     ($($t:ty),*) => {$(
         impl Sample for $t {
+            // lint: truncating a uniform u64 to a narrower int keeps it uniform
             #[allow(clippy::cast_possible_truncation)]
             fn sample(rng: &mut SimRng) -> Self {
                 rng.next_u64() as $t
@@ -158,6 +159,7 @@ impl Sample for f64 {
 }
 
 impl Sample for f32 {
+    // lint: the >> 40 leaves 24 bits, which f32's mantissa holds exactly
     #[allow(clippy::cast_possible_truncation)]
     fn sample(rng: &mut SimRng) -> Self {
         ((rng.next_u64() >> 40) as f32) / (1u64 << 24) as f32
@@ -173,6 +175,7 @@ pub trait SampleRange<T> {
 macro_rules! impl_range_uint {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            // lint: uniform_u64(span) < span, which fits the range's own type
             #[allow(clippy::cast_possible_truncation)]
             fn sample(self, rng: &mut SimRng) -> $t {
                 assert!(self.start < self.end, "empty range");
@@ -181,6 +184,7 @@ macro_rules! impl_range_uint {
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            // lint: uniform_u64(span + 1) <= span, which fits the range's own type
             #[allow(clippy::cast_possible_truncation)]
             fn sample(self, rng: &mut SimRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
@@ -199,6 +203,7 @@ impl_range_uint!(u8, u16, u32, u64, usize);
 macro_rules! impl_range_sint {
     ($($t:ty => $u:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            // lint: two's-complement wrapping offset maps back into the signed range
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             fn sample(self, rng: &mut SimRng) -> $t {
                 assert!(self.start < self.end, "empty range");
@@ -207,6 +212,7 @@ macro_rules! impl_range_sint {
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            // lint: two's-complement wrapping offset maps back into the signed range
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             fn sample(self, rng: &mut SimRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
@@ -262,9 +268,11 @@ fn uniform_u64(rng: &mut SimRng, bound: u64) -> u64 {
     loop {
         let x = rng.next_u64();
         let m = u128::from(x) * u128::from(bound);
+        // lint: Lemire rejection wants exactly the low 64 bits of the product
         #[allow(clippy::cast_possible_truncation)]
         let lo = m as u64;
         if lo >= bound.wrapping_neg() % bound {
+            // lint: m >> 64 of a u128 product is by construction < 2^64
             #[allow(clippy::cast_possible_truncation)]
             return (m >> 64) as u64;
         }

@@ -108,6 +108,7 @@ impl SimTime {
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         match self.0.checked_sub(earlier.0) {
             Some(d) => SimDuration(d),
+            // iotse-lint: allow(IOTSE-E04) documented panic contract: time never runs backwards
             None => panic!("duration_since: {earlier} is later than {self}"),
         }
     }
@@ -296,6 +297,7 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // iotse-lint: allow(IOTSE-E04) overflow is a simulation bug; std::time panics too
                 .expect("simulated time overflow (more than ~584 years)"),
         )
     }
@@ -313,6 +315,7 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(rhs.0)
+                // iotse-lint: allow(IOTSE-E04) underflow is a simulation bug; std::time panics too
                 .expect("simulated time underflow (before t = 0)"),
         )
     }
@@ -328,6 +331,7 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // iotse-lint: allow(IOTSE-E04) overflow is a simulation bug; std::time panics too
         SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
     }
 }
@@ -341,6 +345,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // iotse-lint: allow(IOTSE-E04) underflow is a simulation bug; std::time panics too
         SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
     }
 }
@@ -354,6 +359,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // iotse-lint: allow(IOTSE-E04) overflow is a simulation bug; std::time panics too
         SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
     }
 }
