@@ -1,0 +1,71 @@
+//! Renders one fully-instrumented scenario run in an export format.
+//!
+//! ```text
+//! inspect [--scheme S] [--apps A2,A5] [--windows N] [--seed N] [--jobs N]
+//!         [--format chrome|folded|table|metrics|timeline]
+//! ```
+//!
+//! Output goes to stdout and is byte-identical across repeated runs and
+//! `--jobs` levels (CI diffs it). Load `--format chrome` output into
+//! <https://ui.perfetto.dev> or `chrome://tracing`; pipe `--format folded`
+//! into any FlameGraph/inferno renderer.
+
+use std::env;
+use std::process::ExitCode;
+
+use iotse_bench::config::{parse_app_list, parse_scheme};
+use iotse_bench::inspect::{inspect, InspectFormat, InspectRequest};
+
+const USAGE: &str = "usage: inspect [--scheme baseline|batching|com|beam|bcom] [--apps A2,A5]
+               [--windows N] [--seed N] [--jobs N]
+               [--format chrome|folded|table|metrics|timeline]
+defaults: --scheme batching --apps A2 --windows 4 --seed 42 --jobs 1 --format timeline";
+
+fn main() -> ExitCode {
+    let mut req = InspectRequest::default();
+    let mut format = InspectFormat::Timeline;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scheme" => match args.next().as_deref().map(parse_scheme) {
+                Some(Ok(s)) => req.scheme = s,
+                Some(Err(e)) => return fail(&e),
+                None => return fail("--scheme needs a name"),
+            },
+            "--apps" => match args.next().as_deref().map(parse_app_list) {
+                Some(Ok(apps)) => req.apps = apps,
+                Some(Err(e)) => return fail(&e),
+                None => return fail("--apps needs a list like A2,A5"),
+            },
+            "--windows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(w) if w > 0 => req.windows = w,
+                _ => return fail("--windows needs a positive integer"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => req.seed = seed,
+                None => return fail("--seed needs an integer"),
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(j) if j > 0 => req.jobs = j,
+                _ => return fail("--jobs needs a positive integer"),
+            },
+            "--format" => match args.next().as_deref().map(InspectFormat::parse) {
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => return fail(&e),
+                None => return fail("--format needs a name"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            unknown => return fail(&format!("unknown argument '{unknown}'\n{USAGE}")),
+        }
+    }
+    print!("{}", inspect(&req, format));
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,310 @@
+//! Trace and metrics exporters: Chrome/Perfetto JSON and Prometheus text.
+//!
+//! Both renderers are pure functions from recorded run data to a `String`,
+//! written with deterministic formatting (fixed-precision floats, stable
+//! iteration order) so repeated runs — at any `--jobs` level — produce
+//! byte-identical output. Neither uses a JSON library: the trace-event
+//! format is flat enough that hand-writing it keeps the workspace
+//! dependency-free and the bytes fully under our control.
+//!
+//! * [`chrome_trace`] — the Chrome `trace_event` JSON format (also read by
+//!   Perfetto's legacy importer): spans become `"ph":"X"` complete duration
+//!   events, point events become `"ph":"i"` instants, and the reconstructed
+//!   hub power waveform becomes a `"ph":"C"` counter track.
+//! * [`prometheus`] — the Prometheus text exposition format for a
+//!   [`MetricsReport`] (counters, gauges, and cumulative-bucket
+//!   histograms).
+
+use std::fmt::Write as _;
+
+use iotse_core::{Calibration, RunResult};
+use iotse_sim::metrics::MetricsReport;
+use iotse_sim::time::SimTime;
+use iotse_sim::trace::FieldValue;
+
+/// Escapes `s` for use inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Simulated nanoseconds → trace-event microseconds, fixed 3 decimals.
+fn ts_micros(t: SimTime) -> String {
+    format!("{:.3}", t.as_nanos() as f64 / 1e3)
+}
+
+/// Renders one typed field value as a JSON value.
+fn json_field_value(result: &RunResult, value: FieldValue) -> String {
+    match value {
+        FieldValue::U64(v) => v.to_string(),
+        FieldValue::I64(v) => v.to_string(),
+        FieldValue::Str(l) => format!("\"{}\"", json_escape(result.trace.label(l))),
+        FieldValue::Time(t) => format!("\"{t}\""),
+    }
+}
+
+/// Renders a run's span tree, point events and power waveform as Chrome
+/// `trace_event` JSON — load the output into `chrome://tracing` or
+/// <https://ui.perfetto.dev> to see the execution visually.
+///
+/// Spans become `"ph":"X"` complete events on one thread track (the span
+/// tree nests by time, which is how the viewers reconstruct the stack);
+/// each carries its self-energy in `args.energy_self_uj`. Point events
+/// become `"ph":"i"` thread-scoped instants. If the run recorded phase
+/// timelines, the hub power waveform from [`RunResult::power_trace`] is
+/// emitted as a `power_mw` counter track (`"ph":"C"`).
+#[must_use]
+pub fn chrome_trace(result: &RunResult, cal: &Calibration) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{{\"name\":\"iotse {} seed={}\"}}}}",
+        json_escape(&result.scheme.to_string()),
+        result.seed
+    ));
+    events.push(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"spans\"}}"
+            .to_string(),
+    );
+
+    for span in result.trace.spans() {
+        let exit = span.exit.unwrap_or(span.enter);
+        let mut args = format!("\"energy_self_uj\":{:.3}", span.weight);
+        for &(name, value) in &span.fields {
+            let _ = write!(
+                args,
+                ",\"{}\":{}",
+                json_escape(result.trace.label(name)),
+                json_field_value(result, value)
+            );
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":1,\"args\":{{{args}}}}}",
+            json_escape(result.trace.label(span.label)),
+            span.kind,
+            ts_micros(span.enter),
+            (exit.as_nanos() - span.enter.as_nanos()) as f64 / 1e3,
+        ));
+    }
+
+    for event in result.trace.events() {
+        let mut args = format!(
+            "\"source\":\"{}\"",
+            json_escape(result.trace.label(event.source))
+        );
+        for &(name, value) in &event.fields {
+            let _ = write!(
+                args,
+                ",\"{}\":{}",
+                json_escape(result.trace.label(name)),
+                json_field_value(result, value)
+            );
+        }
+        let kind = event.kind;
+        events.push(format!(
+            "{{\"name\":\"{kind}\",\"cat\":\"{kind}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
+             \"pid\":1,\"tid\":1,\"args\":{{{args}}}}}",
+            ts_micros(event.time),
+        ));
+    }
+
+    if let Some(power) = result.power_trace(cal) {
+        for &(t, p) in power.points() {
+            events.push(format!(
+                "{{\"name\":\"power_mw\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                 \"args\":{{\"mw\":{:.3}}}}}",
+                ts_micros(t),
+                p.as_milliwatts()
+            ));
+        }
+        if let Some(end) = power.end() {
+            events.push(format!(
+                "{{\"name\":\"power_mw\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                 \"args\":{{\"mw\":0.000}}}}",
+                ts_micros(end)
+            ));
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Formats a gauge/sum value: integral floats render without a fraction
+/// (`1200` not `1200.0`), everything else uses Rust's shortest round-trip
+/// form — both are deterministic functions of the bits.
+fn prom_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a [`MetricsReport`] in the Prometheus text exposition format:
+/// a `# TYPE` line per family, cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count` for histograms. Families appear in name order (the
+/// report is already stable-sorted).
+#[must_use]
+pub fn prometheus(report: &MetricsReport) -> String {
+    let mut out = String::new();
+    for (name, value) in &report.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &report.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", prom_number(*value));
+    }
+    for hist in &report.histograms {
+        let _ = writeln!(out, "# TYPE {} histogram", hist.name);
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{}_bucket{{le=\"{}\"}} {cumulative}",
+                hist.name,
+                prom_number(*bound)
+            );
+        }
+        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", hist.name, hist.count);
+        let _ = writeln!(out, "{}_sum {}", hist.name, prom_number(hist.sum));
+        let _ = writeln!(out, "{}_count {}", hist.name, hist.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_core::{Scenario, Scheme};
+    use iotse_sim::metrics::MetricsRegistry;
+
+    fn traced_run() -> RunResult {
+        Scenario::new(
+            Scheme::Batching,
+            iotse_apps::catalog::apps(&[iotse_core::AppId::A2], 42),
+        )
+        .windows(1)
+        .seed(42)
+        .with_trace()
+        .with_timeline()
+        .with_metrics()
+        .run()
+    }
+
+    /// A structural JSON validity check: balanced braces/brackets outside
+    /// string literals, correct escape handling. Not a full parser, but it
+    /// catches every way hand-written JSON usually breaks.
+    fn assert_balanced_json(s: &str) {
+        let mut depth = 0i64;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "closer before opener");
+        }
+        assert_eq!(depth, 0, "unbalanced braces/brackets");
+        assert!(!in_string, "unterminated string");
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid_json() {
+        let result = traced_run();
+        let json = chrome_trace(&result, &Calibration::paper());
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(json.contains("\"ph\":\"X\""), "no duration events");
+        assert!(json.contains("\"ph\":\"i\""), "no instant events");
+        assert!(json.contains("\"ph\":\"C\""), "no counter track");
+        assert!(json.contains("\"name\":\"iotse_core_run\""));
+        assert!(json.contains("\"name\":\"power_mw\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic() {
+        let a = chrome_trace(&traced_run(), &Calibration::paper());
+        let b = chrome_trace(&traced_run(), &Calibration::paper());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("iotse_bench_things_total");
+        reg.add(c, 7);
+        let g = reg.gauge("iotse_bench_level");
+        reg.set_gauge(g, 2.5);
+        let h = reg.histogram("iotse_bench_sizes", &[10.0, 100.0]);
+        reg.observe(h, 5.0);
+        reg.observe(h, 50.0);
+        reg.observe(h, 500.0);
+        let text = prometheus(&reg.snapshot());
+        let expected = "\
+# TYPE iotse_bench_things_total counter
+iotse_bench_things_total 7
+# TYPE iotse_bench_level gauge
+iotse_bench_level 2.5
+# TYPE iotse_bench_sizes histogram
+iotse_bench_sizes_bucket{le=\"10\"} 1
+iotse_bench_sizes_bucket{le=\"100\"} 2
+iotse_bench_sizes_bucket{le=\"+Inf\"} 3
+iotse_bench_sizes_sum 555
+iotse_bench_sizes_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prom_numbers_are_stable() {
+        assert_eq!(prom_number(1200.0), "1200");
+        assert_eq!(prom_number(2.5), "2.5");
+        assert_eq!(prom_number(0.0), "0");
+    }
+}

@@ -1,0 +1,241 @@
+//! The observability drill-down behind the `inspect` binary.
+//!
+//! One scenario, full instrumentation (spans + metrics + phase timelines),
+//! rendered in the format of your choice:
+//!
+//! * `chrome` — Chrome/Perfetto `trace_event` JSON ([`export::chrome_trace`]).
+//! * `folded` — inferno-compatible collapsed energy stacks
+//!   ([`iotse_energy::flame`]), pipe into a flamegraph renderer.
+//! * `table` — the per-label self/total energy rollup in microjoules.
+//! * `metrics` — the Prometheus text exposition ([`export::prometheus`]).
+//! * `timeline` — Figure-5-style CPU/MCU power-state strips plus the span
+//!   summary, for a terminal-only look at a run.
+//!
+//! Everything here is a pure function of the request, and the scenario runs
+//! through the same [`Fleet`] as the experiment harness, so output is
+//! byte-identical across repeated runs and `--jobs` levels (the determinism
+//! tests and the CI gate diff these strings directly).
+//!
+//! [`export::chrome_trace`]: crate::export::chrome_trace
+//! [`export::prometheus`]: crate::export::prometheus
+
+use std::fmt::Write as _;
+
+use iotse_core::runner::Fleet;
+use iotse_core::{AppId, Calibration, RunResult, Scenario, Scheme};
+use iotse_energy::flame;
+use iotse_sim::time::SimTime;
+
+use crate::export;
+use crate::figures::fig05::{render_strip, Timeline};
+
+/// Which rendering [`inspect`] should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectFormat {
+    /// Chrome/Perfetto `trace_event` JSON.
+    Chrome,
+    /// Collapsed energy stacks (inferno `folded` format).
+    Folded,
+    /// Per-label self/total energy table.
+    Table,
+    /// Prometheus text exposition of the run's metrics.
+    Metrics,
+    /// Power-state strips + span summary, for terminals.
+    Timeline,
+}
+
+impl InspectFormat {
+    /// Every format, in CLI listing order.
+    pub const ALL: [InspectFormat; 5] = [
+        InspectFormat::Chrome,
+        InspectFormat::Folded,
+        InspectFormat::Table,
+        InspectFormat::Metrics,
+        InspectFormat::Timeline,
+    ];
+
+    /// Parses a format name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name.
+    pub fn parse(name: &str) -> Result<InspectFormat, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "chrome" => Ok(InspectFormat::Chrome),
+            "folded" => Ok(InspectFormat::Folded),
+            "table" => Ok(InspectFormat::Table),
+            "metrics" => Ok(InspectFormat::Metrics),
+            "timeline" => Ok(InspectFormat::Timeline),
+            other => Err(format!(
+                "unknown format '{other}' (chrome|folded|table|metrics|timeline)"
+            )),
+        }
+    }
+
+    /// The CLI name of this format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InspectFormat::Chrome => "chrome",
+            InspectFormat::Folded => "folded",
+            InspectFormat::Table => "table",
+            InspectFormat::Metrics => "metrics",
+            InspectFormat::Timeline => "timeline",
+        }
+    }
+}
+
+/// One fully-instrumented scenario to run and render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InspectRequest {
+    /// The execution scheme.
+    pub scheme: Scheme,
+    /// The Table II apps to run together.
+    pub apps: Vec<AppId>,
+    /// Number of 1-second windows.
+    pub windows: u32,
+    /// The experiment seed.
+    pub seed: u64,
+    /// Fleet worker threads (output is identical at any level).
+    pub jobs: usize,
+}
+
+impl Default for InspectRequest {
+    /// Batching × step counter, 4 windows, seed 42, one worker.
+    fn default() -> Self {
+        InspectRequest {
+            scheme: Scheme::Batching,
+            apps: vec![AppId::A2],
+            windows: 4,
+            seed: 42,
+            jobs: 1,
+        }
+    }
+}
+
+/// Runs the request's scenario with spans, metrics and phase timelines all
+/// recording, through a [`Fleet`] of `jobs` workers.
+#[must_use]
+pub fn run(req: &InspectRequest) -> RunResult {
+    let scenario = Scenario::new(req.scheme, iotse_apps::catalog::apps(&req.apps, req.seed))
+        .windows(req.windows)
+        .seed(req.seed)
+        .with_trace()
+        .with_timeline()
+        .with_metrics();
+    let mut results = Fleet::new(req.jobs).run(vec![scenario]);
+    // iotse-lint: allow(IOTSE-E04) the fleet returns one result per scenario
+    results.pop().expect("one scenario in, one result out")
+}
+
+/// Renders an instrumented [`RunResult`] in `format`.
+#[must_use]
+pub fn render(result: &RunResult, format: InspectFormat) -> String {
+    match format {
+        InspectFormat::Chrome => export::chrome_trace(result, &Calibration::paper()),
+        InspectFormat::Folded => flame::fold(&result.trace).folded(),
+        InspectFormat::Table => flame::fold(&result.trace).table(),
+        InspectFormat::Metrics => result
+            .metrics
+            .as_ref()
+            .map_or_else(String::new, export::prometheus),
+        InspectFormat::Timeline => render_timeline(result),
+    }
+}
+
+/// Runs `req` and renders the result — the whole `inspect` binary in one
+/// call, kept as a library function so tests can diff outputs without
+/// spawning processes.
+#[must_use]
+pub fn inspect(req: &InspectRequest, format: InspectFormat) -> String {
+    render(&run(req), format)
+}
+
+/// The `timeline` rendering: Figure-5-style strips plus the span summary
+/// and energy rollup.
+fn render_timeline(result: &RunResult) -> String {
+    let mut out = String::new();
+    let horizon = SimTime::ZERO + result.duration;
+    let _ = writeln!(
+        out,
+        "{} seed={} over {}",
+        result.scheme, result.seed, result.duration
+    );
+    let _ = writeln!(
+        out,
+        "legend: # busy, . idle-active, t transition, s sleep, z deep-sleep"
+    );
+    if let (Some(cpu), Some(mcu)) = (&result.cpu_timeline, &result.mcu_timeline) {
+        let cpu: Timeline = cpu.iter().map(|&(t, p)| (t, p.name())).collect();
+        let mcu: Timeline = mcu.iter().map(|&(t, p)| (t, p.name())).collect();
+        let _ = writeln!(out, "CPU : {}", render_strip(&cpu, horizon, 100));
+        let _ = writeln!(out, "MCU : {}", render_strip(&mcu, horizon, 100));
+    }
+    let s = result.spans;
+    let _ = writeln!(
+        out,
+        "spans: {} (depth {}), events: {}, attributed energy: {:.3} uJ",
+        s.spans, s.max_depth, s.events, s.total_weight
+    );
+    out.push_str(&flame::fold(&result.trace).table());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parsing_round_trips() {
+        for f in InspectFormat::ALL {
+            assert_eq!(InspectFormat::parse(f.name()).unwrap(), f);
+            assert_eq!(
+                InspectFormat::parse(&f.name().to_ascii_uppercase()).unwrap(),
+                f
+            );
+        }
+        assert!(InspectFormat::parse("svg").is_err());
+    }
+
+    #[test]
+    fn every_format_renders_nonempty() {
+        let req = InspectRequest {
+            windows: 1,
+            ..InspectRequest::default()
+        };
+        let result = run(&req);
+        for f in InspectFormat::ALL {
+            assert!(
+                !render(&result, f).is_empty(),
+                "{} rendered empty",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn folded_energy_equals_ledger_total_exactly() {
+        let result = run(&InspectRequest::default());
+        let graph = flame::fold(&result.trace);
+        assert_eq!(
+            graph.total_microjoules(),
+            result.total_energy().as_microjoules(),
+            "span fold must reproduce the ledger bitwise"
+        );
+    }
+
+    #[test]
+    fn timeline_shows_strips_and_summary() {
+        let text = inspect(
+            &InspectRequest {
+                windows: 1,
+                ..InspectRequest::default()
+            },
+            InspectFormat::Timeline,
+        );
+        assert!(text.contains("CPU : "));
+        assert!(text.contains("MCU : "));
+        assert!(text.contains("spans: "));
+        assert!(text.contains("iotse_core_run"));
+    }
+}

@@ -20,7 +20,9 @@
 
 pub mod config;
 pub mod csv;
+pub mod export;
 pub mod figures;
+pub mod inspect;
 pub mod stopwatch;
 pub mod sweeps;
 

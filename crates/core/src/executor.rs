@@ -14,9 +14,10 @@ use iotse_sensors::reading::SensorSample;
 use iotse_sensors::spec::SensorId;
 use iotse_sensors::world::{PhysicalWorld, WorldConfig};
 use iotse_sim::engine::Engine;
+use iotse_sim::metrics::{HistogramId, MetricsRegistry};
 use iotse_sim::rng::SeedTree;
 use iotse_sim::time::{SimDuration, SimTime};
-use iotse_sim::trace::{TraceKind, TraceLog};
+use iotse_sim::trace::{FieldValue, SpanId, TraceKind, TraceLog};
 
 use crate::admission::classify;
 use crate::calibration::Calibration;
@@ -51,6 +52,7 @@ pub struct Scenario {
     cal: Calibration,
     record_timeline: bool,
     trace: bool,
+    metrics: bool,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -78,6 +80,7 @@ impl Scenario {
             cal: Calibration::paper(),
             record_timeline: false,
             trace: false,
+            metrics: false,
         }
     }
 
@@ -136,6 +139,13 @@ impl Scenario {
         self
     }
 
+    /// Collects an `iotse_core_*` / `iotse_energy_*` metrics report.
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
     /// Runs the scenario to completion.
     ///
     /// # Panics
@@ -154,6 +164,7 @@ impl Scenario {
             cal,
             record_timeline,
             trace,
+            metrics,
         } = self;
         // An inconsistent calibration is a scenario-construction bug, part
         // of run()'s documented panic contract above.
@@ -237,6 +248,8 @@ impl Scenario {
             } else {
                 TraceLog::disabled()
             },
+            metrics: metrics.then(MetricsState::new),
+            assigned: 0.0,
             apps: Vec::new(),
             groups: Vec::new(),
             link_busy_until: SimTime::ZERO,
@@ -280,6 +293,10 @@ impl Scenario {
             }
         }
 
+        // The root span covers the whole run; every tick nests under it.
+        let root = exec
+            .trace
+            .enter_span(SimTime::ZERO, TraceKind::Scheme, "iotse_core_run");
         engine.run(&mut exec);
 
         // Close out the books at the horizon (or later, if the last task
@@ -290,7 +307,22 @@ impl Scenario {
         exec.cpu.finish(&mut exec.ledger, end);
         exec.mcu.finish(&mut exec.ledger, end);
 
-        let apps = exec
+        // The close span absorbs everything charged at book-closing (tail
+        // gap/idle energy) plus any floating-point residue, so the folded
+        // span weights reproduce `ledger.total()` bitwise (see `settle`).
+        let close = exec
+            .trace
+            .enter_span(end, TraceKind::PowerState, "iotse_core_close");
+        if exec.trace.is_enabled() {
+            let total = exec.ledger.total().as_microjoules();
+            let weight = exact_residual(exec.assigned, total);
+            exec.trace.charge_span(close, weight);
+            exec.assigned += weight;
+        }
+        exec.trace.exit_span(close, end);
+        exec.trace.exit_span(root, end);
+
+        let apps: Vec<AppRunReport> = exec
             .apps
             .into_iter()
             .map(|rt| AppRunReport {
@@ -301,19 +333,43 @@ impl Scenario {
             })
             .collect();
 
+        // End-of-run counters come straight from the totals the executor
+        // already tracks; only per-event histograms observe on the hot path.
+        let mcu_stats = exec.mcu.stats();
+        let metrics = exec.metrics.map(|mut m| {
+            let c = m.reg.counter("iotse_core_interrupts_total");
+            m.reg.add(c, exec.interrupts);
+            let c = m.reg.counter("iotse_core_sensor_reads_total");
+            m.reg.add(c, exec.sensor_reads);
+            let c = m.reg.counter("iotse_core_transfer_bytes_total");
+            m.reg.add(c, exec.bytes_transferred);
+            let c = m.reg.counter("iotse_core_forced_flushes_total");
+            m.reg.add(c, mcu_stats.forced_flushes);
+            let c = m.reg.counter("iotse_core_windows_completed_total");
+            m.reg
+                .add(c, apps.iter().map(|a| a.windows.len() as u64).sum());
+            let c = m.reg.counter("iotse_core_qos_misses_total");
+            m.reg
+                .add(c, apps.iter().map(|a| a.qos_violations() as u64).sum());
+            exec.ledger.export_metrics(&mut m.reg);
+            m.reg.snapshot()
+        });
+
         RunResult {
             scheme,
             seed,
             duration: end - SimTime::ZERO,
             ledger: exec.ledger,
             cpu: exec.cpu.stats(),
-            mcu: exec.mcu.stats(),
+            mcu: mcu_stats,
             interrupts: exec.interrupts,
             sensor_reads: exec.sensor_reads,
             bytes_transferred: exec.bytes_transferred,
             apps,
             cpu_timeline: exec.cpu.timeline().map(<[_]>::to_vec),
             mcu_timeline: exec.mcu.timeline().map(<[_]>::to_vec),
+            spans: exec.trace.summary(),
+            metrics,
             trace: exec.trace,
         }
     }
@@ -420,6 +476,64 @@ struct PendingWindow {
     ready: SimTime,
 }
 
+/// Live metric instruments (only the per-event histograms observe on the
+/// hot path; counters are filled from run totals at the end).
+struct MetricsState {
+    reg: MetricsRegistry,
+    transfer_bytes: HistogramId,
+    window_slack_ms: HistogramId,
+}
+
+impl MetricsState {
+    fn new() -> Self {
+        let mut reg = MetricsRegistry::new();
+        let transfer_bytes =
+            reg.histogram("iotse_core_transfer_bytes", &[16.0, 256.0, 4096.0, 65536.0]);
+        let window_slack_ms = reg.histogram(
+            "iotse_core_window_slack_ms",
+            &[250.0, 500.0, 1000.0, 2000.0],
+        );
+        MetricsState {
+            reg,
+            transfer_bytes,
+            window_slack_ms,
+        }
+    }
+}
+
+/// The non-negative weight `w` for which `assigned + w` reproduces `total`
+/// bitwise (nudging the naive difference by ulps when float rounding makes
+/// `assigned + (total - assigned) != total`). Falls back to the naive
+/// difference if no exact weight exists within a few ulps — in practice the
+/// search converges immediately because the close-out weight is large.
+fn exact_residual(assigned: f64, total: f64) -> f64 {
+    // NaN-safe "strictly positive": NaN compares as not-greater, so a
+    // degenerate difference short-circuits to zero instead of looping.
+    fn strictly_positive(x: f64) -> bool {
+        x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
+    }
+    let mut w = total - assigned;
+    if !strictly_positive(w) {
+        return 0.0;
+    }
+    for _ in 0..8 {
+        let sum = assigned + w;
+        if sum == total {
+            return w;
+        }
+        let nudged = if sum < total {
+            f64::from_bits(w.to_bits() + 1)
+        } else {
+            f64::from_bits(w.to_bits().wrapping_sub(1))
+        };
+        if !strictly_positive(nudged) {
+            break;
+        }
+        w = nudged;
+    }
+    (total - assigned).max(0.0)
+}
+
 /// The executor state driven by the engine.
 struct Exec {
     world: PhysicalWorld,
@@ -428,6 +542,9 @@ struct Exec {
     mcu: McuAccount,
     ledger: EnergyLedger,
     trace: TraceLog,
+    metrics: Option<MetricsState>,
+    /// Ledger energy (µJ) already attributed to spans; see [`Exec::settle`].
+    assigned: f64,
     apps: Vec<AppRt>,
     groups: Vec<Group>,
     link_busy_until: SimTime,
@@ -437,15 +554,46 @@ struct Exec {
 }
 
 impl Exec {
+    /// Attributes every microjoule charged to the ledger since the last
+    /// settle point to `span`. Settles run at the end of each leaf span, so
+    /// the deltas telescope: summed left-to-right in span order they track
+    /// `ledger.total()` (the run's close span sweeps in the exact residual).
+    /// Zero-cost when tracing is off.
+    fn settle(&mut self, span: SpanId) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let total = self.ledger.total().as_microjoules();
+        let delta = total - self.assigned;
+        if delta > 0.0 {
+            self.trace.charge_span(span, delta);
+            self.assigned += delta;
+        }
+    }
+
     fn on_tick(&mut self, now: SimTime, group_idx: usize, window: u32) {
         let g = self.groups[group_idx].clone();
         let spec = iotse_sensors::catalog::spec(g.sensor);
+
+        let tick = self
+            .trace
+            .enter_span(now, TraceKind::SensorRead, "iotse_core_tick");
+        if self.trace.is_enabled() {
+            let sensor = self.trace.intern(&g.sensor.to_string());
+            self.trace
+                .span_field(tick, "sensor", FieldValue::Str(sensor));
+            self.trace
+                .span_field(tick, "window", FieldValue::U64(u64::from(window)));
+        }
 
         // --- Tasks I–III at the MCU: read, with Task-I retries. The value
         // is latched at the tick's *nominal* instant (`now`): the ADC
         // samples on its QoS clock even when the MCU is backlogged moving
         // a batch, so a transfer backlog delays availability, not
         // acquisition.
+        let collect = self
+            .trace
+            .enter_span(now, TraceKind::SensorRead, "iotse_core_collect");
         let mut sample: Option<SensorSample> = None;
         let mut read_end = now;
         for _attempt in 0..MAX_READ_RETRIES {
@@ -470,19 +618,26 @@ impl Exec {
                     sample = Some(s);
                     break;
                 }
+                // The error string only formats when tracing is live.
                 Err(e) => self
                     .trace
-                    .record(end, TraceKind::SensorRead, "mcu", e.to_string()),
+                    .record_with(end, TraceKind::SensorRead, "mcu", || e.to_string()),
             }
         }
-        if sample.is_some() {
-            self.trace.record(
+        if sample.is_some() && self.trace.is_enabled() {
+            let sensor = self.trace.intern(&g.sensor.to_string());
+            self.trace.event(
                 read_end,
                 TraceKind::SensorRead,
                 "mcu",
-                format!("{} sample {}B", g.sensor, g.bytes_per_sample),
+                &[
+                    ("sensor", FieldValue::Str(sensor)),
+                    ("bytes", FieldValue::U64(g.bytes_per_sample as u64)),
+                ],
             );
         }
+        self.settle(collect);
+        self.trace.exit_span(collect, read_end);
 
         // Collection busy time, split across sharers under BEAM.
         let share = self.cal.mcu_read_overhead / g.members.len() as u64;
@@ -542,6 +697,12 @@ impl Exec {
                 self.try_complete_offloaded(m, window);
             }
         }
+
+        let tick_end = now
+            .max(self.cpu.busy_until())
+            .max(self.mcu.busy_until())
+            .max(self.link_busy_until);
+        self.trace.exit_span(tick, tick_end);
     }
 
     fn pending(&mut self, app: usize, window: u32) -> &mut PendingWindow {
@@ -574,6 +735,9 @@ impl Exec {
 
     /// MCU raises the line, CPU services it. Returns when handling ends.
     fn interrupt(&mut self, ready: SimTime) -> SimTime {
+        let span = self
+            .trace
+            .enter_span(ready, TraceKind::Interrupt, "iotse_core_interrupt");
         let (_, raise_end) = self.mcu.task(
             &mut self.ledger,
             ready,
@@ -588,6 +752,9 @@ impl Exec {
             Routine::Interrupt,
         );
         self.interrupts += 1;
+        self.trace.event(handled, TraceKind::Interrupt, "mcu", &[]);
+        self.settle(span);
+        self.trace.exit_span(span, handled);
         handled
     }
 
@@ -597,8 +764,16 @@ impl Exec {
     /// only pays a short descriptor setup and the wire runs on its own.
     /// Returns the completion instant.
     fn transfer(&mut self, ready: SimTime, bytes: usize) -> SimTime {
+        let span = self
+            .trace
+            .enter_span(ready, TraceKind::DataTransfer, "iotse_core_transfer");
+        self.trace
+            .span_field(span, "bytes", FieldValue::U64(bytes as u64));
         let dur = self.cal.transfer_time(bytes);
         self.bytes_transferred += bytes as u64;
+        if let Some(m) = &mut self.metrics {
+            m.reg.observe(m.transfer_bytes, bytes as f64);
+        }
         let end = if self.cal.dma_enabled {
             let start = ready.max(self.cpu.busy_until()).max(self.mcu.busy_until());
             let (_, cpu_end) = self.cpu.task(
@@ -641,8 +816,14 @@ impl Exec {
             );
             cpu_end
         };
-        self.trace
-            .record(end, TraceKind::DataTransfer, "link", format!("{bytes}B"));
+        self.trace.event(
+            end,
+            TraceKind::DataTransfer,
+            "link",
+            &[("bytes", FieldValue::U64(bytes as u64))],
+        );
+        self.settle(span);
+        self.trace.exit_span(span, end);
         end
     }
 
@@ -651,9 +832,14 @@ impl Exec {
             return;
         };
         let compute = self.apps[app].workload.resources().cpu_compute;
+        let span = self
+            .trace
+            .enter_span(pw.ready, TraceKind::Compute, "iotse_core_compute");
         let (_, end) = self
             .cpu
             .task(&mut self.ledger, pw.ready, compute, Routine::AppCompute);
+        self.settle(span);
+        self.trace.exit_span(span, end);
         self.finish_window(app, pw, compute, end);
     }
 
@@ -662,6 +848,9 @@ impl Exec {
             return;
         };
         // Flush: one interrupt, one bulk transfer of the whole batch.
+        let flush = self
+            .trace
+            .enter_span(pw.ready, TraceKind::Scheme, "iotse_core_flush");
         let int_end = self.interrupt(pw.ready);
         pw.processing.interrupt += self.cal.cpu_interrupt_handling;
         let batch = pw.batch_bytes;
@@ -669,17 +858,23 @@ impl Exec {
         pw.batch_bytes = 0;
         let tx_end = self.transfer(int_end, batch);
         pw.processing.data_transfer += self.cal.transfer_time(batch);
-        self.trace.record(
+        self.trace.event(
             tx_end,
             TraceKind::Scheme,
             "batching",
-            format!("flushed {batch}B"),
+            &[("flushed_bytes", FieldValue::U64(batch as u64))],
         );
+        self.trace.exit_span(flush, tx_end);
         // Then compute on the CPU.
         let compute = self.apps[app].workload.resources().cpu_compute;
+        let span = self
+            .trace
+            .enter_span(tx_end, TraceKind::Compute, "iotse_core_compute");
         let (_, end) = self
             .cpu
             .task(&mut self.ledger, tx_end, compute, Routine::AppCompute);
+        self.settle(span);
+        self.trace.exit_span(span, end);
         self.finish_window(app, pw, compute, end);
     }
 
@@ -689,6 +884,9 @@ impl Exec {
         };
         // Kernel runs on the MCU…
         let compute = self.apps[app].workload.resources().mcu_compute;
+        let span = self
+            .trace
+            .enter_span(pw.ready, TraceKind::Compute, "iotse_core_compute");
         let (_, mcu_done) = self.mcu.task(
             &mut self.ledger,
             pw.ready,
@@ -696,6 +894,8 @@ impl Exec {
             Routine::AppCompute,
             None,
         );
+        self.settle(span);
+        self.trace.exit_span(span, mcu_done);
         pw.processing.app_compute += compute;
         let output = self.apps[app].workload.compute(&pw.data);
         // …and only the result crosses to the CPU.
@@ -704,11 +904,11 @@ impl Exec {
         let bytes = output.wire_bytes();
         let tx_end = self.transfer(int_end, bytes);
         pw.processing.data_transfer += self.cal.transfer_time(bytes);
-        self.trace.record(
+        self.trace.event(
             tx_end,
             TraceKind::Scheme,
             "com",
-            format!("offloaded result {bytes}B"),
+            &[("offloaded_bytes", FieldValue::U64(bytes as u64))],
         );
         let deadline = pw.data.end + self.apps[app].window_len;
         let outcome = WindowOutcome {
@@ -718,13 +918,7 @@ impl Exec {
             deadline,
             processing: pw.processing,
         };
-        self.trace.record(
-            outcome.completed_at,
-            TraceKind::Qos,
-            "exec",
-            outcome.output.summary(),
-        );
-        self.apps[app].outcomes.push(outcome);
+        self.record_outcome(app, outcome);
     }
 
     /// Removes and returns `window`'s pending state iff every expected
@@ -758,12 +952,29 @@ impl Exec {
             deadline,
             processing: pw.processing,
         };
-        self.trace.record(
-            completed_at,
-            TraceKind::Qos,
-            "exec",
-            outcome.output.summary(),
-        );
+        self.record_outcome(app, outcome);
+    }
+
+    /// Emits the QoS event and slack observation for a finished window,
+    /// then files the outcome.
+    fn record_outcome(&mut self, app: usize, outcome: WindowOutcome) {
+        if self.trace.is_enabled() {
+            let result = self.trace.intern(&outcome.output.summary());
+            self.trace.event(
+                outcome.completed_at,
+                TraceKind::Qos,
+                "exec",
+                &[
+                    ("result", FieldValue::Str(result)),
+                    ("window", FieldValue::U64(u64::from(outcome.window))),
+                    ("deadline", FieldValue::Time(outcome.deadline)),
+                ],
+            );
+        }
+        if let Some(m) = &mut self.metrics {
+            m.reg
+                .observe(m.window_slack_ms, outcome.slack().as_millis_f64());
+        }
         self.apps[app].outcomes.push(outcome);
     }
 
@@ -779,9 +990,19 @@ impl Exec {
                 if batch == 0 {
                     continue;
                 }
+                let flush = self
+                    .trace
+                    .enter_span(ready, TraceKind::Scheme, "iotse_core_flush");
                 let int_end = self.interrupt(ready);
                 self.mcu_buffer_remove(batch);
                 let tx_end = self.transfer(int_end, batch);
+                self.trace.event(
+                    tx_end,
+                    TraceKind::Scheme,
+                    "batching",
+                    &[("forced_flush_bytes", FieldValue::U64(batch as u64))],
+                );
+                self.trace.exit_span(flush, tx_end);
                 let dur = self.cal.transfer_time(batch);
                 let handling = self.cal.cpu_interrupt_handling;
                 let Some(pw) = self.apps[app].pending.get_mut(&w) else {
@@ -791,12 +1012,6 @@ impl Exec {
                 pw.processing.interrupt += handling;
                 pw.processing.data_transfer += dur;
                 pw.ready = pw.ready.max(tx_end);
-                self.trace.record(
-                    tx_end,
-                    TraceKind::Scheme,
-                    "batching",
-                    format!("forced flush {batch}B"),
-                );
             }
         }
     }
@@ -1124,6 +1339,92 @@ mod tests {
             (0.0..0.10).contains(&saving),
             "baseline DMA saving {saving:.3}"
         );
+    }
+
+    #[test]
+    fn span_weights_reproduce_ledger_total_exactly() {
+        for scheme in Scheme::SINGLE_APP {
+            let r = Scenario::new(scheme, vec![Box::new(Fake::stepish(AppId::A2))])
+                .windows(2)
+                .seed(7)
+                .with_trace()
+                .run();
+            let folded: f64 = {
+                let mut acc = 0.0;
+                for s in r.trace.spans() {
+                    acc += s.weight;
+                }
+                acc
+            };
+            assert_eq!(
+                folded,
+                r.ledger.total().as_microjoules(),
+                "{scheme}: folded span energy must equal the ledger total bitwise"
+            );
+            assert_eq!(r.spans.total_weight, folded);
+        }
+    }
+
+    #[test]
+    fn span_tree_has_root_and_closed_spans() {
+        let r = Scenario::new(Scheme::Batching, vec![Box::new(Fake::stepish(AppId::A2))])
+            .windows(1)
+            .seed(7)
+            .with_trace()
+            .run();
+        let spans = r.trace.spans();
+        assert!(!spans.is_empty());
+        // Exactly one root, and it is the first span.
+        assert!(spans[0].parent.is_none());
+        assert_eq!(r.trace.label(spans[0].label), "iotse_core_run");
+        assert_eq!(spans.iter().filter(|s| s.parent.is_none()).count(), 1);
+        // Every span is closed with exit >= enter.
+        for s in spans {
+            let exit = s.exit.expect("all spans closed at run end");
+            assert!(exit >= s.enter);
+        }
+    }
+
+    #[test]
+    fn metrics_report_matches_run_counters() {
+        let r = Scenario::new(Scheme::Baseline, vec![Box::new(Fake::stepish(AppId::A2))])
+            .windows(2)
+            .seed(7)
+            .with_metrics()
+            .run();
+        let m = r.metrics.as_ref().expect("metrics enabled");
+        assert_eq!(m.counter("iotse_core_interrupts_total"), Some(r.interrupts));
+        assert_eq!(
+            m.counter("iotse_core_sensor_reads_total"),
+            Some(r.sensor_reads)
+        );
+        assert_eq!(
+            m.counter("iotse_core_transfer_bytes_total"),
+            Some(r.bytes_transferred)
+        );
+        assert_eq!(m.counter("iotse_core_windows_completed_total"), Some(2));
+        assert_eq!(m.counter("iotse_core_qos_misses_total"), Some(0));
+        assert_eq!(
+            m.gauge("iotse_energy_total_microjoules"),
+            Some(r.ledger.total().as_microjoules())
+        );
+        // The transfer-size histogram saw every transfer.
+        let hist = m
+            .histograms
+            .iter()
+            .find(|h| h.name == "iotse_core_transfer_bytes")
+            .expect("transfer histogram");
+        assert_eq!(hist.count, 200);
+        assert_eq!(hist.sum, r.bytes_transferred as f64);
+    }
+
+    #[test]
+    fn disabled_observability_adds_nothing() {
+        let r = run(Scheme::Baseline, vec![Box::new(Fake::stepish(AppId::A2))]);
+        assert!(r.metrics.is_none());
+        assert_eq!(r.spans.spans, 0);
+        assert!(r.trace.spans().is_empty());
+        assert!(r.trace.events().is_empty());
     }
 
     #[test]

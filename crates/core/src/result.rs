@@ -190,6 +190,12 @@ pub struct RunResult {
     pub cpu_timeline: Option<Vec<(SimTime, CpuPhase)>>,
     /// MCU phase timeline, if recording was enabled.
     pub mcu_timeline: Option<Vec<(SimTime, McuPhase)>>,
+    /// Aggregate shape of the recorded span tree (all-zero unless the
+    /// scenario ran with [`Scenario::with_trace`](crate::executor::Scenario::with_trace)).
+    pub spans: iotse_sim::trace::SpanSummary,
+    /// Stable-ordered metrics snapshot (`None` unless the scenario ran with
+    /// [`Scenario::with_metrics`](crate::executor::Scenario::with_metrics)).
+    pub metrics: Option<iotse_sim::metrics::MetricsReport>,
     /// The structured execution trace (empty unless the scenario ran with
     /// [`Scenario::with_trace`](crate::executor::Scenario::with_trace)).
     pub trace: iotse_sim::trace::TraceLog,

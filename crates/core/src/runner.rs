@@ -150,6 +150,21 @@ pub fn run_fleet(scenarios: Vec<Scenario>, jobs: usize) -> Vec<RunResult> {
     Fleet::new(jobs).run(scenarios)
 }
 
+/// Merges the metrics reports of a fleet's results into one per-sweep
+/// report (counters and histogram buckets sum; gauges sum — divide by run
+/// count for a mean). Runs without metrics contribute nothing. The merge
+/// folds in submission order, so the aggregate is independent of `--jobs`.
+#[must_use]
+pub fn aggregate_metrics(results: &[RunResult]) -> iotse_sim::metrics::MetricsReport {
+    let mut merged = iotse_sim::metrics::MetricsReport::default();
+    for r in results {
+        if let Some(m) = &r.metrics {
+            merged.merge(m);
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,8 @@
 //!   Figures 3–12.
 //! * [`monitor`] — [`PowerTrace`]: the virtual Monsoon,
 //!   an exact piecewise-constant waveform with CSV sampling.
+//! * [`flame`] — energy flamegraphs: fold span-tree energy charges into
+//!   inferno-compatible collapsed stacks and self/total tables.
 //! * [`report`] — ASCII renderings of breakdowns and bar charts.
 //!
 //! # Examples
@@ -39,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod flame;
 pub mod monitor;
 pub mod report;
 pub mod state;
 pub mod units;
 
 pub use attribution::{Breakdown, Device, EnergyLedger, NormalizedBreakdown, Routine};
+pub use flame::FlameGraph;
 pub use monitor::PowerTrace;
 pub use state::{PowerState, StateTracker};
 pub use units::{Energy, Power};

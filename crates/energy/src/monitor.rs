@@ -187,6 +187,22 @@ impl PowerTrace {
     /// Samples the trace every `interval`, returning `(t, power)` rows —
     /// what the Monsoon would have logged.
     ///
+    /// Sampling covers `[start, end)`: rows land at `start + k·interval`
+    /// for every such instant strictly before `end`. Two consequences are
+    /// deliberate and pinned by tests:
+    ///
+    /// * When `interval` does not divide the trace length, the partial
+    ///   tail is represented by its last in-range row and `end` itself is
+    ///   never sampled (sampling a 10 ms trace at 3 ms yields rows at 0,
+    ///   3, 6 and 9 ms).
+    /// * Coincident change points — [`PowerTrace::set`] at `now ==
+    ///   last_t` — collapse to the last write before sampling ever sees
+    ///   them, so no zero-width step can appear in a sample row.
+    ///
+    /// Change points falling between rows are invisible at the chosen
+    /// rate; exact integrals come from [`PowerTrace::energy`], never from
+    /// summing samples.
+    ///
     /// # Panics
     ///
     /// Panics if the trace is not finished or `interval` is zero.
@@ -292,6 +308,38 @@ mod tests {
         assert_eq!(rows[3], (SimTime::from_millis(6), Power::from_watts(2.0)));
         let csv = tr.to_csv(SimDuration::from_millis(5));
         assert_eq!(csv, "time_ms,power_mw\n0.000,1000.000\n5.000,2000.000\n");
+    }
+
+    #[test]
+    fn sampling_a_non_dividing_interval_keeps_the_partial_tail() {
+        // 10 ms trace at a 3 ms period: rows at 0, 3, 6, 9 — the 1 ms
+        // remnant is represented by the t=9 ms row, and the end instant
+        // itself is never sampled (the trace is [start, end)).
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::from_watts(1.0));
+        tr.set(SimTime::from_millis(9), Power::from_watts(2.0));
+        tr.finish(SimTime::from_millis(10));
+        let rows = tr.sample(SimDuration::from_millis(3));
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], (SimTime::ZERO, Power::from_watts(1.0)));
+        assert_eq!(rows[3], (SimTime::from_millis(9), Power::from_watts(2.0)));
+        // A period longer than the whole trace still yields the start row.
+        let rows = tr.sample(SimDuration::from_millis(50));
+        assert_eq!(rows, vec![(SimTime::ZERO, Power::from_watts(1.0))]);
+    }
+
+    #[test]
+    fn coincident_change_points_sample_as_the_last_write() {
+        // Two set() calls at the same instant store no zero-width step:
+        // the later write wins, for stored points and samples alike.
+        let mut tr = PowerTrace::new(SimTime::ZERO, Power::from_watts(1.0));
+        tr.set(SimTime::from_millis(2), Power::from_watts(5.0));
+        tr.set(SimTime::from_millis(2), Power::from_watts(3.0));
+        tr.finish(SimTime::from_millis(4));
+        assert_eq!(tr.points().len(), 2, "no zero-width step is stored");
+        let rows = tr.sample(SimDuration::from_millis(1));
+        assert_eq!(rows[2], (SimTime::from_millis(2), Power::from_watts(3.0)));
+        // The integral sees only the surviving level: 1 W × 2 ms + 3 W × 2 ms.
+        assert!((tr.energy().as_millijoules() - 8.0).abs() < 1e-12);
     }
 
     #[test]

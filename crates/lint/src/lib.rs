@@ -2,11 +2,12 @@
 //!
 //! PR 1 made every figure bitwise-deterministic, but only dynamically
 //! (golden CSVs, determinism tests). This crate is the static half of that
-//! guarantee: eight rules that scan the workspace source for the patterns
+//! guarantee: nine rules that scan the workspace source for the patterns
 //! which historically break replayability (wall-clock reads, hash-ordered
 //! iteration, ambient state), erode the energy model (panicking library
-//! paths, silent casts), or let the paper's Table I constants drift from
-//! the code (`specs/table1.toml` audit).
+//! paths, silent casts), let the paper's Table I constants drift from
+//! the code (`specs/table1.toml` audit), or fragment the observability
+//! namespace (metric/span label naming).
 //!
 //! Run it as `cargo run -p iotse-lint -- check` (add `--json` for machine
 //! output). Findings print as `file:line: RULE-ID message`; a finding can
@@ -144,6 +145,7 @@ pub fn run_check(root: &Path) -> Result<Vec<Finding>, ScanError> {
         rules::casts::check(file, &mut findings);
         rules::allow_inventory::check(file, &mut findings);
         rules::doc_coverage::check(file, &mut findings);
+        rules::metric_names::check(file, &mut findings);
     }
     rules::table1::check(root, &files, &mut findings);
 

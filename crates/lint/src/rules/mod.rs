@@ -15,12 +15,14 @@
 //! | `IOTSE-T06` | source constants must match `specs/table1.toml` |
 //! | `IOTSE-A07` | every `#[allow]` needs a `// lint:` justification |
 //! | `IOTSE-P08` | public items in `core` need doc comments |
+//! | `IOTSE-M09` | metric/span labels must match `iotse_<crate>_<name>` |
 
 pub mod allow_inventory;
 pub mod ambient;
 pub mod casts;
 pub mod doc_coverage;
 pub mod hash_iter;
+pub mod metric_names;
 pub mod table1;
 pub mod unwrap_panic;
 pub mod wallclock;
@@ -41,4 +43,5 @@ pub const ALL: &[(&str, &str)] = &[
     (table1::ID, table1::SUMMARY),
     (allow_inventory::ID, allow_inventory::SUMMARY),
     (doc_coverage::ID, doc_coverage::SUMMARY),
+    (metric_names::ID, metric_names::SUMMARY),
 ];

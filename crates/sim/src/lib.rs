@@ -12,8 +12,11 @@
 //! * [`engine`] — the [`Engine`] execution loop.
 //! * [`stats`] — counters, streaming moments, histograms, time-weighted
 //!   averages.
-//! * [`trace`] — structured execution traces (used for the paper's Figure 5
-//!   timelines).
+//! * [`metrics`] — deterministic registry of named counters, gauges and
+//!   histograms, snapshotable to a stable-ordered report.
+//! * [`trace`] — structured execution traces: hierarchical spans with typed
+//!   fields (used for the paper's Figure 5 timelines and the energy
+//!   flamegraph fold).
 //! * [`rng`] — label-addressed deterministic RNG streams.
 //!
 //! # Examples
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -55,6 +59,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, RunOutcome};
+pub use metrics::{MetricsRegistry, MetricsReport};
 pub use rng::SeedTree;
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceKind, TraceLog};
+pub use trace::{SpanId, TraceKind, TraceLog};

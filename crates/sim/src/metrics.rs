@@ -1,0 +1,420 @@
+//! A deterministic metrics registry: named counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! [`stats`](crate::stats) supplies the raw accumulators; this module adds
+//! the *registry* layer an observability surface needs: metrics are
+//! registered once by name (`iotse_<crate>_<name>`, enforced by lint rule
+//! IOTSE-M09), addressed afterwards by a cheap interned id so the hot path
+//! never hashes or allocates, and snapshot into a [`MetricsReport`] whose
+//! ordering is stable (sorted by name) so exported text is byte-identical
+//! across runs and across `--jobs` settings.
+//!
+//! Like everything in this crate the registry is plain data: no interior
+//! mutability, no globals, no background aggregation. A scenario owns its
+//! registry, and the fleet runner merges per-run [`MetricsReport`]s after
+//! the fact.
+//!
+//! # Examples
+//!
+//! ```
+//! use iotse_sim::metrics::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! let reads = reg.counter("iotse_sim_reads_total");
+//! let depth = reg.gauge("iotse_sim_queue_depth");
+//! let bytes = reg.histogram("iotse_sim_payload_bytes", &[16.0, 256.0, 4096.0]);
+//! reg.inc(reads);
+//! reg.add(reads, 9);
+//! reg.set_gauge(depth, 3.0);
+//! reg.observe(bytes, 100.0);
+//! let report = reg.snapshot();
+//! assert_eq!(report.counters, vec![("iotse_sim_reads_total".to_string(), 10)]);
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::stats::Histogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CounterId(u32);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GaugeId(u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HistogramId(u32);
+
+/// A registry of named metrics, addressed by interned ids after
+/// registration.
+///
+/// Registration is idempotent: asking for an existing name returns the
+/// original handle (for histograms the bounds must match — two call sites
+/// registering the same name with different buckets is a naming bug, and
+/// panics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    index: BTreeMap<String, Slot>,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram, f64)>, // (name, buckets, sum)
+}
+
+/// What a registered name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Counter(u32),
+    Gauge(u32),
+    Histogram(u32),
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or looks up) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(slot) = self.index.get(name) {
+            match slot {
+                Slot::Counter(i) => return CounterId(*i),
+                // iotse-lint: allow(IOTSE-E04) — kind clash is a naming bug
+                _ => panic!("metric `{name}` already registered with another kind"),
+            }
+        }
+        let i = self.counters.len() as u32;
+        self.counters.push((name.to_string(), 0));
+        self.index.insert(name.to_string(), Slot::Counter(i));
+        CounterId(i)
+    }
+
+    /// Registers (or looks up) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(slot) = self.index.get(name) {
+            match slot {
+                Slot::Gauge(i) => return GaugeId(*i),
+                // iotse-lint: allow(IOTSE-E04) — kind clash is a naming bug
+                _ => panic!("metric `{name}` already registered with another kind"),
+            }
+        }
+        let i = self.gauges.len() as u32;
+        self.gauges.push((name.to_string(), 0.0));
+        self.index.insert(name.to_string(), Slot::Gauge(i));
+        GaugeId(i)
+    }
+
+    /// Registers (or looks up) the histogram `name` with the given bucket
+    /// upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind or with
+    /// different bounds, or if `bounds` is empty / not strictly increasing.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(slot) = self.index.get(name) {
+            match slot {
+                Slot::Histogram(i) => {
+                    assert!(
+                        self.histograms[*i as usize].1.bounds() == bounds,
+                        "histogram `{name}` re-registered with different bounds"
+                    );
+                    return HistogramId(*i);
+                }
+                // iotse-lint: allow(IOTSE-E04) — kind clash is a naming bug
+                _ => panic!("metric `{name}` already registered with another kind"),
+            }
+        }
+        let i = self.histograms.len() as u32;
+        self.histograms
+            .push((name.to_string(), Histogram::with_bounds(bounds), 0.0));
+        self.index.insert(name.to_string(), Slot::Histogram(i));
+        HistogramId(i)
+    }
+
+    /// Adds one to a counter.
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0 as usize].1 += 1;
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize].1 += n;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0 as usize].1 = value;
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: HistogramId, x: f64) {
+        let (_, hist, sum) = &mut self.histograms[id.0 as usize];
+        hist.record(x);
+        *sum += x;
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].1
+    }
+
+    /// Current value of a gauge.
+    #[must_use]
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize].1
+    }
+
+    /// Snapshots every metric into a stable-ordered report.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsReport {
+        let mut counters = self.counters.clone();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges = self.gauges.clone();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .iter()
+            .map(|(name, hist, sum)| HistogramSnapshot {
+                name: name.clone(),
+                bounds: hist.bounds().to_vec(),
+                counts: hist.bucket_counts().to_vec(),
+                overflow: hist.overflow(),
+                count: hist.total(),
+                sum: *sum,
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsReport {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (same length as `bounds`).
+    pub counts: Vec<u64>,
+    /// Observations at or above the last bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+/// A stable-ordered snapshot of a [`MetricsRegistry`] — every list is
+/// sorted by metric name, so rendering a report yields byte-identical text
+/// for identical runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsReport {
+    /// `true` if the report carries no metrics at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// Looks up a gauge value by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// Merges `other` into this report: counters, histogram buckets and
+    /// sums add; gauges add too (across a fleet a gauge like
+    /// `iotse_energy_total_microjoules` reads as a per-scheme total —
+    /// callers wanting a mean divide by run count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same histogram name appears with different bounds —
+    /// reports from differently-configured registries cannot be merged.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for (name, value) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.counters[i].1 += value,
+                Err(i) => self.counters.insert(i, (name.clone(), *value)),
+            }
+        }
+        for (name, value) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.gauges[i].1 += value,
+                Err(i) => self.gauges.insert(i, (name.clone(), *value)),
+            }
+        }
+        for hist in &other.histograms {
+            match self.histograms.binary_search_by(|h| h.name.cmp(&hist.name)) {
+                Ok(i) => {
+                    let mine = &mut self.histograms[i];
+                    assert!(
+                        mine.bounds == hist.bounds,
+                        "cannot merge histogram `{}`: bucket bounds differ",
+                        hist.name
+                    );
+                    for (a, b) in mine.counts.iter_mut().zip(&hist.counts) {
+                        *a += b;
+                    }
+                    mine.overflow += hist.overflow;
+                    mine.count += hist.count;
+                    mine.sum += hist.sum;
+                }
+                Err(i) => self.histograms.insert(i, hist.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("iotse_sim_x_total");
+        let b = reg.counter("iotse_sim_x_total");
+        assert_eq!(a, b);
+        let g = reg.gauge("iotse_sim_g");
+        assert_eq!(reg.gauge("iotse_sim_g"), g);
+        let h = reg.histogram("iotse_sim_h", &[1.0, 2.0]);
+        assert_eq!(reg.histogram("iotse_sim_h", &[1.0, 2.0]), h);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_clash_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("iotse_sim_x");
+        reg.gauge("iotse_sim_x");
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_bounds_clash_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("iotse_sim_h", &[1.0]);
+        reg.histogram("iotse_sim_h", &[2.0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let mut reg = MetricsRegistry::new();
+        let z = reg.counter("iotse_sim_z_total");
+        let a = reg.counter("iotse_sim_a_total");
+        reg.add(z, 2);
+        reg.inc(a);
+        let report = reg.snapshot();
+        assert_eq!(
+            report.counters,
+            vec![
+                ("iotse_sim_a_total".to_string(), 1),
+                ("iotse_sim_z_total".to_string(), 2),
+            ]
+        );
+        assert_eq!(report.counter("iotse_sim_z_total"), Some(2));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_snapshot_tracks_sum_and_overflow() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("iotse_sim_bytes", &[10.0, 100.0]);
+        reg.observe(h, 5.0);
+        reg.observe(h, 50.0);
+        reg.observe(h, 500.0);
+        let report = reg.snapshot();
+        let snap = &report.histograms[0];
+        assert_eq!(snap.counts, vec![1, 1]);
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 555.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_gauges_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        let c = a.counter("iotse_sim_c_total");
+        let g = a.gauge("iotse_sim_g");
+        let h = a.histogram("iotse_sim_h", &[10.0]);
+        a.add(c, 3);
+        a.set_gauge(g, 1.5);
+        a.observe(h, 5.0);
+
+        let mut b = MetricsRegistry::new();
+        let c2 = b.counter("iotse_sim_c_total");
+        let g2 = b.gauge("iotse_sim_g");
+        let h2 = b.histogram("iotse_sim_h", &[10.0]);
+        let only = b.counter("iotse_sim_only_total");
+        b.add(c2, 4);
+        b.set_gauge(g2, 2.5);
+        b.observe(h2, 50.0);
+        b.inc(only);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("iotse_sim_c_total"), Some(7));
+        assert_eq!(merged.counter("iotse_sim_only_total"), Some(1));
+        assert_eq!(merged.gauge("iotse_sim_g"), Some(4.0));
+        let snap = &merged.histograms[0];
+        assert_eq!(snap.counts, vec![1]);
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.sum, 55.0);
+        // names still sorted after inserts
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn merge_into_empty_copies_everything() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("iotse_sim_c_total");
+        reg.inc(c);
+        let mut empty = MetricsReport::default();
+        assert!(empty.is_empty());
+        empty.merge(&reg.snapshot());
+        assert_eq!(empty.counter("iotse_sim_c_total"), Some(1));
+        assert!(!empty.is_empty());
+    }
+}

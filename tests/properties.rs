@@ -293,6 +293,76 @@ fn chunking_partitions_any_input() {
 
 // ----------------------------------------------------------- platform ----
 
+/// Whatever the seed and scheme, an instrumented run's span tree is
+/// well-formed: exactly one root, parents precede and contain their
+/// children in time, every span exits at or after its enter, every charge
+/// is reachable from the root, and folding the weights reproduces the
+/// ledger total exactly (no tolerance).
+#[test]
+fn span_trees_are_well_formed_for_any_seed() {
+    use iotse::sim::trace::SpanId;
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Batching,
+        Scheme::Com,
+        Scheme::Beam,
+        Scheme::Bcom,
+    ];
+    forall(10, |case, rng| {
+        let seed = rng.gen_range(0..5_000u64);
+        let scheme = schemes[case as usize % schemes.len()];
+        let result = Scenario::new(scheme, catalog::apps(&[AppId::A2], seed))
+            .windows(1)
+            .seed(seed)
+            .with_trace()
+            .run();
+        let trace = &result.trace;
+        let spans = trace.spans();
+        assert!(!spans.is_empty(), "case {case}: no spans recorded");
+        let mut roots = 0;
+        for (i, span) in spans.iter().enumerate() {
+            let exit = span
+                .exit
+                .unwrap_or_else(|| panic!("case {case} {scheme}: span {i} left open"));
+            assert!(
+                exit >= span.enter,
+                "case {case} {scheme}: span {i} exits before entering"
+            );
+            assert!(
+                span.weight >= 0.0,
+                "case {case} {scheme}: span {i} has negative energy"
+            );
+            match span.parent {
+                None => roots += 1,
+                Some(p) => {
+                    let p = p.index().expect("recorded parents are live ids");
+                    assert!(p < i, "case {case} {scheme}: parent enters after child");
+                    assert!(
+                        spans[p].enter <= span.enter && spans[p].exit.expect("closed") >= exit,
+                        "case {case} {scheme}: span {i} not nested inside its parent"
+                    );
+                }
+            }
+            // Reachability: every span's stack starts at the single root.
+            assert!(
+                trace
+                    .stack(SpanId::from_index(i))
+                    .starts_with("iotse_core_run"),
+                "case {case} {scheme}: span {i} not reachable from the root"
+            );
+        }
+        assert_eq!(roots, 1, "case {case} {scheme}: expected exactly one root");
+        // The fold is exact, not approximate: left-to-right weight sum is
+        // bitwise the ledger total.
+        let fold = iotse::energy::flame::fold(trace);
+        assert_eq!(
+            fold.total_microjoules(),
+            result.total_energy().as_microjoules(),
+            "case {case} {scheme}: span fold diverged from the ledger"
+        );
+    });
+}
+
 /// Whatever the seed, the executor's structural counters equal the Table II
 /// derivation, and energy orderings hold.
 #[test]
