@@ -1,0 +1,110 @@
+//! A counting `GlobalAlloc` wrapper around the system allocator.
+//!
+//! Every allocation in the process increments two global counters:
+//! allocation count and bytes requested. Reads are just relaxed atomic
+//! loads, so the [`snapshot`] probe the suite uses costs nothing that
+//! would perturb a measurement. Frees are deliberately *not* tracked: the
+//! suite gates on "allocator traffic caused by one run", and a
+//! monotonically increasing pair of counters makes the per-run delta
+//! trivially race-free when the run executes on the calling thread.
+//!
+//! Lives in the binary (not `iotse-bench`'s library) because implementing
+//! `GlobalAlloc` requires `unsafe`, which the library forbids.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The allocator: counts, then delegates to [`System`].
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates to `System` with unchanged arguments; the
+// counter updates are lock-free atomics, safe in any allocation context.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink is one more round-trip to the allocator; count the
+        // full new size so buffer-doubling regressions show up in bytes.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Cumulative `(allocations, bytes requested)` since process start.
+pub fn snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::snapshot;
+
+    // The test harness runs tests on several threads sharing the global
+    // counters, so assertions are lower bounds, never equalities.
+
+    #[test]
+    fn vec_allocation_is_counted() {
+        let (a0, b0) = snapshot();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        std::hint::black_box(&v);
+        let (a1, b1) = snapshot();
+        assert!(a1 - a0 >= 1, "allocation not counted");
+        assert!(b1 - b0 >= 4096, "bytes under-counted: {}", b1 - b0);
+    }
+
+    #[test]
+    fn growth_reallocs_are_counted() {
+        let mut v: Vec<u64> = Vec::with_capacity(1);
+        let (a0, _) = snapshot();
+        for i in 0..10_000u64 {
+            v.push(i); // no size hint: capacity doubles repeatedly
+        }
+        std::hint::black_box(&v);
+        let (a1, _) = snapshot();
+        assert!(
+            a1 - a0 >= 2,
+            "doubling growth should re-allocate: {}",
+            a1 - a0
+        );
+    }
+
+    #[test]
+    fn counters_are_monotonic_across_frees() {
+        let v: Vec<u8> = vec![7; 1024];
+        let (a0, b0) = snapshot();
+        drop(v);
+        let (a1, b1) = snapshot();
+        assert!(a1 >= a0 && b1 >= b0, "free must not rewind counters");
+    }
+
+    #[test]
+    fn zeroed_allocation_is_counted() {
+        let (a0, b0) = snapshot();
+        let v: Vec<u8> = vec![0; 2048]; // vec! of zeroes uses alloc_zeroed
+        std::hint::black_box(&v);
+        let (a1, b1) = snapshot();
+        assert!(a1 - a0 >= 1);
+        assert!(b1 - b0 >= 2048);
+    }
+}

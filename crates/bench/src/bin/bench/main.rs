@@ -1,0 +1,103 @@
+//! `bench` — the deterministic microbenchmark suite.
+//!
+//! ```text
+//! cargo run --release -p iotse-bench --bin bench -- [--quick] [--jobs N]
+//!     [--out PATH] [--check PATH]
+//! ```
+//!
+//! Runs the four suite sections (executor, kernel, fleet, overhead), prints
+//! a table, and optionally writes the stable-schema JSON report (`--out`)
+//! or gates the deterministic counters against a committed baseline
+//! (`--check`, exact match required; wall time is advisory only — drift
+//! beyond ±30% prints a warning but never fails).
+
+mod counting_alloc;
+
+use std::process::ExitCode;
+
+use iotse_bench::report::BenchReport;
+use iotse_bench::stopwatch::SampleBudget;
+use iotse_bench::suite;
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+/// Wall-time drift beyond this fraction of baseline prints an advisory.
+const WALL_TOLERANCE: f64 = 0.30;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench: {msg}");
+    eprintln!("usage: bench [--quick] [--jobs N] [--out PATH] [--check PATH]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut jobs = 1usize;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = n,
+                _ => return fail("--jobs wants a positive integer"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => return fail("--out wants a path"),
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => return fail("--check wants a path"),
+            },
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let limits = if quick {
+        SampleBudget::quick()
+    } else {
+        SampleBudget::default()
+    };
+    let report = suite::run_suite(limits, jobs, &counting_alloc::snapshot);
+    print!("{}", suite::render_table(&report));
+
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            return fail(&format!("writing {path}: {e}"));
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {path}: {e}")),
+        };
+        let baseline = match BenchReport::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("parsing {path}: {e}")),
+        };
+        for w in report.wall_advisories(&baseline, WALL_TOLERANCE) {
+            eprintln!("warning: {w}");
+        }
+        let diffs = report.diff_counters(&baseline);
+        if diffs.is_empty() {
+            println!("counters match baseline ({} cases)", baseline.entries.len());
+        } else {
+            for d in &diffs {
+                eprintln!("counter regression: {d}");
+            }
+            eprintln!(
+                "bench: {} deterministic counter mismatch(es) vs {path}",
+                diffs.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -23,7 +23,9 @@ pub mod csv;
 pub mod export;
 pub mod figures;
 pub mod inspect;
+pub mod report;
 pub mod stopwatch;
+pub mod suite;
 pub mod sweeps;
 
 pub use config::ExperimentConfig;

@@ -1,0 +1,336 @@
+//! The bench suite's stable report schema (`BENCH_4.json`).
+//!
+//! One [`BenchEntry`] per measured case: `(section, workload, scheme)`
+//! identifies the case; `wall_ns_*` carry the stopwatch timing; the four
+//! **deterministic cost counters** — `events`, `bus_bytes`, `allocs`,
+//! `alloc_bytes` — are bitwise-reproducible (simulation events and payload
+//! bytes are pure functions of the scenario; heap counts come from the
+//! `bench` binary's counting allocator over a single-threaded run) and are
+//! therefore CI-gateable with **zero** tolerance, while wall time is only
+//! advisory (shared runners make it noisy).
+//!
+//! Serialization is hand-rolled JSON over the in-tree [`Json`] kernel — the
+//! same std-only discipline as the Chrome-trace and Prometheus exporters —
+//! so the output is deterministic byte-for-byte: object keys sort
+//! alphabetically, entries keep suite order.
+
+use iotse_apps::kernels::json::Json;
+
+/// Version tag written into every report; bump on schema changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Suite section: `executor`, `kernel`, `fleet` or `overhead`.
+    pub section: String,
+    /// Workload label (app list or kernel name).
+    pub workload: String,
+    /// Scheme label (`baseline`…, `jobs-4`, `kernel`, `instrumented`).
+    pub scheme: String,
+    /// Median wall time per iteration, nanoseconds. Advisory only.
+    pub wall_ns_median: u64,
+    /// Fastest iteration, nanoseconds. Advisory only.
+    pub wall_ns_min: u64,
+    /// Slowest iteration, nanoseconds. Advisory only.
+    pub wall_ns_max: u64,
+    /// Timed iterations behind the median.
+    pub iters: u64,
+    /// Simulation events executed in one run of the case. Deterministic.
+    pub events: u64,
+    /// MCU→CPU payload bytes moved in one run of the case. Deterministic.
+    pub bus_bytes: u64,
+    /// Heap allocations in one steady-state run. Deterministic (0 when the
+    /// case runs on worker threads, where counting would race).
+    pub allocs: u64,
+    /// Heap bytes requested in one steady-state run. Deterministic (0 when
+    /// not measured; see [`BenchEntry::allocs`]).
+    pub alloc_bytes: u64,
+}
+
+impl BenchEntry {
+    /// The case identity used for baseline matching.
+    #[must_use]
+    pub fn case_id(&self) -> String {
+        format!("{}/{}/{}", self.section, self.workload, self.scheme)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("section", Json::String(self.section.clone())),
+            ("workload", Json::String(self.workload.clone())),
+            ("scheme", Json::String(self.scheme.clone())),
+            ("wall_ns_median", from_u64(self.wall_ns_median)),
+            ("wall_ns_min", from_u64(self.wall_ns_min)),
+            ("wall_ns_max", from_u64(self.wall_ns_max)),
+            ("iters", from_u64(self.iters)),
+            ("events", from_u64(self.events)),
+            ("bus_bytes", from_u64(self.bus_bytes)),
+            ("allocs", from_u64(self.allocs)),
+            ("alloc_bytes", from_u64(self.alloc_bytes)),
+        ])
+    }
+}
+
+/// A full suite report: schema tag plus entries in suite order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchReport {
+    /// The schema version the file was written with.
+    pub schema: u64,
+    /// One entry per case, in suite order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report at the current schema version.
+    #[must_use]
+    pub fn new() -> Self {
+        BenchReport {
+            schema: SCHEMA_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The entry with `case_id`, if present.
+    #[must_use]
+    pub fn entry(&self, case_id: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.case_id() == case_id)
+    }
+
+    /// Serializes the report to deterministic JSON: one compact line per
+    /// entry (diff-friendly for the committed baseline), trailing newline
+    /// included so the file is POSIX-clean.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut text = String::new();
+        text.push_str("{\n");
+        text.push_str(&format!("  \"schema\": {},\n", self.schema));
+        text.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            text.push_str("    ");
+            text.push_str(&e.to_json().to_text());
+            text.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        text.push_str("  ]\n}\n");
+        text
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a missing field, or a counter
+    /// that does not fit `u64`.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(text).map_err(|e| format!("bench report: {e:?}"))?;
+        let schema = field_u64(&doc, "schema")?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("bench report: missing entries array")?
+            .iter()
+            .map(parse_entry)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport { schema, entries })
+    }
+
+    /// Exact-match diff of the four deterministic counters against
+    /// `baseline`: any missing case, extra case, or counter mismatch
+    /// produces one line. Empty means the gate passes.
+    #[must_use]
+    pub fn diff_counters(&self, baseline: &BenchReport) -> Vec<String> {
+        let mut diffs = Vec::new();
+        for base in &baseline.entries {
+            let id = base.case_id();
+            match self.entry(&id) {
+                None => diffs.push(format!("{id}: case missing from current report")),
+                Some(cur) => {
+                    for (field, b, c) in [
+                        ("events", base.events, cur.events),
+                        ("bus_bytes", base.bus_bytes, cur.bus_bytes),
+                        ("allocs", base.allocs, cur.allocs),
+                        ("alloc_bytes", base.alloc_bytes, cur.alloc_bytes),
+                    ] {
+                        if b != c {
+                            diffs.push(format!("{id}: {field} {b} -> {c}"));
+                        }
+                    }
+                }
+            }
+        }
+        for cur in &self.entries {
+            if baseline.entry(&cur.case_id()).is_none() {
+                diffs.push(format!("{}: case missing from baseline", cur.case_id()));
+            }
+        }
+        diffs
+    }
+
+    /// Advisory wall-time comparison: one line per case whose median moved
+    /// by more than `tolerance` (0.3 = ±30%) relative to `baseline`. Cases
+    /// absent from either side are skipped — [`BenchReport::diff_counters`]
+    /// already reports those.
+    #[must_use]
+    pub fn wall_advisories(&self, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+        let mut warnings = Vec::new();
+        for base in &baseline.entries {
+            let Some(cur) = self.entry(&base.case_id()) else {
+                continue;
+            };
+            if base.wall_ns_median == 0 {
+                continue;
+            }
+            let ratio = to_f64(cur.wall_ns_median) / to_f64(base.wall_ns_median);
+            if (ratio - 1.0).abs() > tolerance {
+                warnings.push(format!(
+                    "{}: wall median {} ns -> {} ns ({:+.1}%)",
+                    base.case_id(),
+                    base.wall_ns_median,
+                    cur.wall_ns_median,
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+        warnings
+    }
+}
+
+/// `u64` → JSON number. Counters and nanosecond medians stay far below
+/// 2^53, where `f64` is exact; this asserts it rather than silently
+/// rounding.
+fn from_u64(v: u64) -> Json {
+    assert!(v < (1 << 53), "bench counter {v} exceeds f64 exactness");
+    Json::Number(to_f64(v))
+}
+
+#[allow(clippy::cast_precision_loss)] // lint: guarded by the 2^53 assert above
+fn to_f64(v: u64) -> f64 {
+    v as f64
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    let x = doc
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("bench report: missing numeric field '{key}'"))?;
+    if x < 0.0 || x.fract() != 0.0 || x >= (1u64 << 53) as f64 {
+        return Err(format!("bench report: field '{key}' = {x} is not a u64"));
+    }
+    // lint: the range/fract checks above make the cast exact
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(x as u64)
+}
+
+fn field_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("bench report: missing string field '{key}'"))
+}
+
+fn parse_entry(doc: &Json) -> Result<BenchEntry, String> {
+    Ok(BenchEntry {
+        section: field_str(doc, "section")?,
+        workload: field_str(doc, "workload")?,
+        scheme: field_str(doc, "scheme")?,
+        wall_ns_median: field_u64(doc, "wall_ns_median")?,
+        wall_ns_min: field_u64(doc, "wall_ns_min")?,
+        wall_ns_max: field_u64(doc, "wall_ns_max")?,
+        iters: field_u64(doc, "iters")?,
+        events: field_u64(doc, "events")?,
+        bus_bytes: field_u64(doc, "bus_bytes")?,
+        allocs: field_u64(doc, "allocs")?,
+        alloc_bytes: field_u64(doc, "alloc_bytes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(section: &str, scheme: &str, events: u64) -> BenchEntry {
+        BenchEntry {
+            section: section.into(),
+            workload: "A2".into(),
+            scheme: scheme.into(),
+            wall_ns_median: 1_000,
+            wall_ns_min: 900,
+            wall_ns_max: 1_500,
+            iters: 10,
+            events,
+            bus_bytes: 2_400,
+            allocs: 37,
+            alloc_bytes: 8_192,
+        }
+    }
+
+    fn report() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA_VERSION,
+            entries: vec![
+                entry("executor", "baseline", 400),
+                entry("kernel", "kernel", 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = report();
+        let text = r.to_json();
+        let back = BenchReport::parse(&text).expect("parses");
+        assert_eq!(back, r);
+        // Serialization is deterministic.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse(r#"{"schema": 1}"#).is_err());
+        assert!(BenchReport::parse(r#"{"schema": 1.5, "entries": []}"#).is_err());
+        assert!(BenchReport::parse(r#"{"schema": -1, "entries": []}"#).is_err());
+    }
+
+    #[test]
+    fn counter_diff_is_exact_and_bidirectional() {
+        let base = report();
+        assert!(base.diff_counters(&base).is_empty(), "self-diff is clean");
+
+        let mut moved = report();
+        moved.entries[0].events += 1;
+        moved.entries[1].alloc_bytes = 0;
+        let diffs = moved.diff_counters(&base);
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        assert!(diffs[0].contains("events 400 -> 401"));
+        assert!(diffs[1].contains("alloc_bytes 8192 -> 0"));
+
+        // Wall-time drift alone does NOT trip the counter gate.
+        let mut slow = report();
+        slow.entries[0].wall_ns_median *= 10;
+        assert!(slow.diff_counters(&base).is_empty());
+
+        // Missing and extra cases are both reported.
+        let mut shrunk = report();
+        shrunk.entries.pop();
+        assert_eq!(shrunk.diff_counters(&base).len(), 1);
+        assert_eq!(base.diff_counters(&shrunk).len(), 1);
+    }
+
+    #[test]
+    fn wall_advisories_respect_tolerance() {
+        let base = report();
+        let mut cur = report();
+        cur.entries[0].wall_ns_median = 1_250; // +25%: inside ±30%
+        assert!(cur.wall_advisories(&base, 0.3).is_empty());
+        cur.entries[0].wall_ns_median = 1_400; // +40%: outside
+        let w = cur.wall_advisories(&base, 0.3);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains("+40.0%"), "{w:?}");
+    }
+}

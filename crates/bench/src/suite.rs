@@ -1,0 +1,355 @@
+//! The deterministic microbenchmark suite behind the `bench` binary.
+//!
+//! Four sections, mirroring the questions the ROADMAP's "fast as the
+//! hardware allows" goal keeps asking:
+//!
+//! * **executor** — full-scenario event throughput per scheme (the
+//!   `figures`-equivalent load: real Table II apps through the real
+//!   executor).
+//! * **kernel** — per-kernel runtime of all eleven Table 2 workloads,
+//!   computing over a real sensor window sampled from [`PhysicalWorld`].
+//! * **fleet** — scaling of the scenario fleet at 1/2/4/8 worker threads.
+//! * **overhead** — the cost of full observability (trace + metrics +
+//!   timelines) against a bare run of the same scenario.
+//!
+//! Every case reports wall time (advisory) plus the deterministic cost
+//! counters of [`crate::report`]. Heap counting needs the `bench` binary's
+//! `GlobalAlloc` wrapper, which cannot live in this `#![forbid(unsafe_code)]`
+//! library — so [`run_suite`] takes the counter as a *probe* closure and
+//! stays fully testable without it.
+
+use std::collections::BTreeMap;
+
+use iotse_apps::catalog;
+use iotse_core::runner::Fleet;
+use iotse_core::workload::{WindowData, Workload};
+use iotse_core::{AppId, RunResult, Scenario, Scheme};
+use iotse_sensors::world::{PhysicalWorld, WorldConfig};
+use iotse_sim::rng::SeedTree;
+use iotse_sim::time::SimTime;
+
+use crate::report::{BenchEntry, BenchReport};
+use crate::stopwatch::{measure_with, SampleBudget};
+
+/// The seed every suite case runs under.
+pub const SUITE_SEED: u64 = 42;
+/// Windows per scenario case — small enough for CI, large enough to hit
+/// every flush/complete path.
+pub const SUITE_WINDOWS: u32 = 2;
+/// Fleet rungs measured by the `fleet` section.
+pub const FLEET_RUNGS: [usize; 4] = [1, 2, 4, 8];
+/// The app pair used by scenario cases (shares a sensor under BEAM).
+pub const SUITE_APPS: [AppId; 2] = [AppId::A2, AppId::A7];
+
+/// The deterministic output of one case run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseOutput {
+    /// Simulation events executed.
+    pub events: u64,
+    /// MCU→CPU payload bytes moved.
+    pub bus_bytes: u64,
+}
+
+impl CaseOutput {
+    /// No simulated traffic (kernel-only cases).
+    pub const NONE: CaseOutput = CaseOutput {
+        events: 0,
+        bus_bytes: 0,
+    };
+
+    fn of(result: &RunResult) -> CaseOutput {
+        CaseOutput {
+            events: result.events_executed,
+            bus_bytes: result.bytes_transferred,
+        }
+    }
+}
+
+/// One benchmarkable case.
+pub struct Case {
+    /// Suite section (`executor`, `kernel`, `fleet`, `overhead`).
+    pub section: &'static str,
+    /// Workload label.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// `true` if the case runs entirely on the calling thread, so heap
+    /// counting is deterministic. Multi-threaded cases record 0 allocations
+    /// (worker-thread interleaving would make the count racy).
+    pub count_allocs: bool,
+    /// Runs the case once, returning its deterministic counters.
+    pub run: Box<dyn FnMut() -> CaseOutput>,
+}
+
+impl std::fmt::Debug for Case {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Case")
+            .field("section", &self.section)
+            .field("workload", &self.workload)
+            .field("scheme", &self.scheme)
+            .field("count_allocs", &self.count_allocs)
+            .finish()
+    }
+}
+
+fn scenario(scheme: Scheme) -> Scenario {
+    Scenario::new(scheme, catalog::apps(&SUITE_APPS, SUITE_SEED))
+        .windows(SUITE_WINDOWS)
+        .seed(SUITE_SEED)
+}
+
+/// Samples one real window of `app`'s sensors from a fresh world — the
+/// input the kernel cases compute over (same acquisition the executor
+/// would do, minus the energy accounting).
+fn window_input(app: &dyn Workload, seed: u64) -> WindowData {
+    let seeds = SeedTree::new(seed);
+    let mut world = PhysicalWorld::new(&seeds, WorldConfig::default());
+    let window = app.window();
+    let start = SimTime::ZERO;
+    let mut data = WindowData {
+        window: 0,
+        start,
+        end: start + window,
+        samples: BTreeMap::new(),
+    };
+    for u in app.sensors() {
+        let interval = window / u64::from(u.samples_per_window);
+        for i in 0..u.samples_per_window {
+            let t = start + interval * u64::from(i);
+            if let Ok(s) = world.read(u.sensor, t) {
+                data.samples.entry(s.sensor).or_default().push(s);
+            }
+        }
+    }
+    data
+}
+
+/// Builds every suite case, in report order.
+#[must_use]
+pub fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // (a) Executor event throughput per scheme.
+    for scheme in Scheme::ALL {
+        out.push(Case {
+            section: "executor",
+            workload: "A2+A7".into(),
+            scheme: scheme.to_string().to_ascii_lowercase(),
+            count_allocs: true,
+            run: Box::new(move || CaseOutput::of(&scenario(scheme).run())),
+        });
+    }
+
+    // (b) Per-kernel runtimes for all eleven Table 2 workloads.
+    for id in AppId::ALL {
+        let mut app = catalog::app(id, SUITE_SEED);
+        let input = window_input(app.as_ref(), SUITE_SEED);
+        out.push(Case {
+            section: "kernel",
+            workload: id.to_string(),
+            scheme: "kernel".into(),
+            count_allocs: true,
+            run: Box::new(move || {
+                std::hint::black_box(app.compute(&input));
+                CaseOutput::NONE
+            }),
+        });
+    }
+
+    // (c) Fleet scaling: the five-scheme scenario set across worker counts.
+    for jobs in FLEET_RUNGS {
+        out.push(Case {
+            section: "fleet",
+            workload: "5-schemes-A2+A7".into(),
+            scheme: format!("jobs-{jobs}"),
+            count_allocs: jobs == 1, // Fleet(1) runs on the calling thread
+            run: Box::new(move || {
+                let scenarios: Vec<Scenario> = Scheme::ALL.iter().map(|&s| scenario(s)).collect();
+                let results = Fleet::new(jobs).run(scenarios);
+                results
+                    .iter()
+                    .map(CaseOutput::of)
+                    .fold(CaseOutput::NONE, |acc, c| CaseOutput {
+                        events: acc.events + c.events,
+                        bus_bytes: acc.bus_bytes + c.bus_bytes,
+                    })
+            }),
+        });
+    }
+
+    // (d) Instrumentation overhead: bare vs. fully-observed run.
+    for (label, instrumented) in [("bare", false), ("instrumented", true)] {
+        out.push(Case {
+            section: "overhead",
+            workload: "A2+A7@batching".into(),
+            scheme: label.into(),
+            count_allocs: true,
+            run: Box::new(move || {
+                let mut s = scenario(Scheme::Batching);
+                if instrumented {
+                    s = s.with_trace().with_metrics().with_timeline();
+                }
+                CaseOutput::of(&s.run())
+            }),
+        });
+    }
+
+    out
+}
+
+/// Runs every case and assembles the report.
+///
+/// `probe` returns the process's cumulative `(allocations, bytes)` — the
+/// `bench` binary wires its counting allocator in here; tests may pass a
+/// constant probe (alloc columns then read 0). Per case: one warm-up run
+/// (also the counter source — the output is asserted identical to the
+/// counted run's), one counted steady-state run, then the stopwatch loop
+/// under `limits`.
+///
+/// `prewarm_jobs` sizes a fleet that runs the scenario set once before
+/// measuring, building the shared signal-cache artifacts in parallel; it
+/// cannot affect any counter (gated runs execute on the calling thread
+/// against a warm cache either way).
+///
+/// # Panics
+///
+/// Panics if a case's two runs disagree on the deterministic counters —
+/// that would mean the simulator itself lost determinism, and no report
+/// should be written from such a build.
+#[must_use]
+pub fn run_suite(
+    limits: SampleBudget,
+    prewarm_jobs: usize,
+    probe: &dyn Fn() -> (u64, u64),
+) -> BenchReport {
+    // Parallel cache warm-up (counter-neutral, see above).
+    let scenarios: Vec<Scenario> = Scheme::ALL.iter().map(|&s| scenario(s)).collect();
+    let _ = Fleet::new(prewarm_jobs.max(1)).run(scenarios);
+
+    let mut report = BenchReport::new();
+    for mut case in cases() {
+        let warm = (case.run)();
+        let (allocs, alloc_bytes) = if case.count_allocs {
+            let (a0, b0) = probe();
+            let counted = (case.run)();
+            let (a1, b1) = probe();
+            assert_eq!(
+                counted, warm,
+                "{}/{}/{}: counters drifted between runs",
+                case.section, case.workload, case.scheme
+            );
+            (a1 - a0, b1 - b0)
+        } else {
+            (0, 0)
+        };
+        let m = measure_with(limits, || (case.run)());
+        report.entries.push(BenchEntry {
+            section: case.section.to_string(),
+            workload: case.workload,
+            scheme: case.scheme,
+            wall_ns_median: duration_ns(m.median),
+            wall_ns_min: duration_ns(m.min),
+            wall_ns_max: duration_ns(m.max),
+            iters: m.n as u64,
+            events: warm.events,
+            bus_bytes: warm.bus_bytes,
+            allocs,
+            alloc_bytes,
+        });
+    }
+    report
+}
+
+/// Renders the report as the human-readable table the binary prints.
+#[must_use]
+pub fn render_table(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12}",
+        "section",
+        "workload",
+        "scheme",
+        "median_ns",
+        "events",
+        "bus_bytes",
+        "allocs",
+        "alloc_bytes"
+    );
+    for e in &report.entries {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12}",
+            e.section,
+            e.workload,
+            e.scheme,
+            e.wall_ns_median,
+            e.events,
+            e.bus_bytes,
+            e.allocs,
+            e.alloc_bytes
+        );
+    }
+    out
+}
+
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_every_section_scheme_and_app() {
+        let cases = cases();
+        assert_eq!(
+            cases.iter().filter(|c| c.section == "executor").count(),
+            Scheme::ALL.len()
+        );
+        assert_eq!(
+            cases.iter().filter(|c| c.section == "kernel").count(),
+            AppId::ALL.len()
+        );
+        assert_eq!(
+            cases.iter().filter(|c| c.section == "fleet").count(),
+            FLEET_RUNGS.len()
+        );
+        assert_eq!(cases.iter().filter(|c| c.section == "overhead").count(), 2);
+        // Case ids are unique — the baseline gate matches on them.
+        let mut ids: Vec<String> = cases
+            .iter()
+            .map(|c| format!("{}/{}/{}", c.section, c.workload, c.scheme))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), cases.len());
+    }
+
+    #[test]
+    fn kernel_inputs_carry_real_samples() {
+        for id in AppId::ALL {
+            let app = catalog::app(id, SUITE_SEED);
+            let input = window_input(app.as_ref(), SUITE_SEED);
+            let expected: usize = app
+                .sensors()
+                .iter()
+                .map(|u| u.samples_per_window as usize)
+                .sum();
+            let got: usize = input.samples.values().map(Vec::len).sum();
+            assert_eq!(got, expected, "{id}: window input incomplete");
+        }
+    }
+
+    #[test]
+    fn executor_cases_report_simulation_traffic() {
+        let mut case = cases().into_iter().next().expect("executor case");
+        let out = (case.run)();
+        assert!(out.events > 0, "no events recorded");
+        assert!(out.bus_bytes > 0, "no bus traffic recorded");
+        // Determinism: a second run is identical.
+        assert_eq!((case.run)(), out);
+    }
+}

@@ -252,6 +252,7 @@ impl Scenario {
             assigned: 0.0,
             apps: Vec::new(),
             groups: Vec::new(),
+            flush_scratch: Vec::new(),
             link_busy_until: SimTime::ZERO,
             interrupts: 0,
             sensor_reads: 0,
@@ -273,22 +274,30 @@ impl Scenario {
         }
 
         // Build tick groups (BEAM merges same-rate shared sensors) and
-        // schedule every tick of every window up front.
+        // schedule every tick of every window up front. Ticks go in as
+        // plain-`fn` calls (`schedule_call`) into a queue sized for the
+        // whole run, so the scheduling phase never touches the allocator
+        // per tick.
         exec.groups = build_groups(&exec.apps, scheme);
-        let mut engine: Engine<Exec> = Engine::new();
+        if exec.trace.is_enabled() {
+            for gi in 0..exec.groups.len() {
+                let name = exec.groups[gi].sensor.to_string();
+                exec.groups[gi].sensor_label = Some(exec.trace.intern(&name));
+            }
+        }
+        let total_ticks: usize = exec
+            .groups
+            .iter()
+            .map(|g| g.samples_per_window as usize * windows as usize)
+            .sum();
+        let mut engine: Engine<Exec> = Engine::with_capacity(total_ticks);
         for (gi, g) in exec.groups.iter().enumerate() {
             let window_len = exec.apps[g.members[0]].window_len;
             let interval = window_len / u64::from(g.samples_per_window);
             for w in 0..windows {
                 for i in 0..g.samples_per_window {
                     let t = SimTime::ZERO + window_len * u64::from(w) + interval * u64::from(i);
-                    engine.schedule_labeled(
-                        t,
-                        "tick",
-                        move |exec: &mut Exec, eng: &mut Engine<Exec>| {
-                            exec.on_tick(eng.now(), gi, w);
-                        },
-                    );
+                    engine.schedule_call(t, "tick", tick_trampoline, gi as u64, u64::from(w));
                 }
             }
         }
@@ -362,6 +371,7 @@ impl Scenario {
             ledger: exec.ledger,
             cpu: exec.cpu.stats(),
             mcu: mcu_stats,
+            events_executed: engine.events_executed(),
             interrupts: exec.interrupts,
             sensor_reads: exec.sensor_reads,
             bytes_transferred: exec.bytes_transferred,
@@ -419,6 +429,12 @@ fn validate_rates(app: &dyn Workload) {
     }
 }
 
+/// The tick entry point, as a plain `fn` so the engine can store it
+/// without boxing (see `EventBody::Call`).
+fn tick_trampoline(exec: &mut Exec, eng: &mut Engine<Exec>, group_idx: u64, window: u64) {
+    exec.on_tick(eng.now(), group_idx as usize, window as u32);
+}
+
 /// A tick stream: one sensor sampled at one rate on behalf of one or more
 /// apps (more than one only under BEAM).
 #[derive(Debug, Clone)]
@@ -427,6 +443,9 @@ struct Group {
     samples_per_window: u32,
     bytes_per_sample: usize,
     members: Vec<usize>,
+    /// The sensor's display name, interned once at scenario setup when
+    /// tracing is live (`None` otherwise) — ticks never re-format it.
+    sensor_label: Option<iotse_sim::trace::Label>,
 }
 
 fn build_groups(apps: &[AppRt], scheme: Scheme) -> Vec<Group> {
@@ -451,6 +470,7 @@ fn build_groups(apps: &[AppRt], scheme: Scheme) -> Vec<Group> {
                 samples_per_window: u.samples_per_window,
                 bytes_per_sample: u.sample_bytes(),
                 members: vec![ai],
+                sensor_label: None,
             });
         }
     }
@@ -547,6 +567,8 @@ struct Exec {
     assigned: f64,
     apps: Vec<AppRt>,
     groups: Vec<Group>,
+    /// Reusable window-id buffer for [`Exec::flush_all_batches`].
+    flush_scratch: Vec<u32>,
     link_busy_until: SimTime,
     interrupts: u64,
     sensor_reads: u64,
@@ -572,16 +594,20 @@ impl Exec {
     }
 
     fn on_tick(&mut self, now: SimTime, group_idx: usize, window: u32) {
-        let g = self.groups[group_idx].clone();
-        let spec = iotse_sensors::catalog::spec(g.sensor);
+        // Borrow the member list out of the group (restored before returning)
+        // and copy the scalar fields — a tick never clones its group.
+        let members = std::mem::take(&mut self.groups[group_idx].members);
+        let g = &self.groups[group_idx];
+        let sensor = g.sensor;
+        let bytes_per_sample = g.bytes_per_sample;
+        let sensor_label = g.sensor_label;
+        let spec = iotse_sensors::catalog::spec(sensor);
 
         let tick = self
             .trace
             .enter_span(now, TraceKind::SensorRead, "iotse_core_tick");
-        if self.trace.is_enabled() {
-            let sensor = self.trace.intern(&g.sensor.to_string());
-            self.trace
-                .span_field(tick, "sensor", FieldValue::Str(sensor));
+        if let Some(lbl) = sensor_label {
+            self.trace.span_field(tick, "sensor", FieldValue::Str(lbl));
             self.trace
                 .span_field(tick, "window", FieldValue::U64(u64::from(window)));
         }
@@ -613,7 +639,7 @@ impl Exec {
             );
             self.sensor_reads += 1;
             read_end = end;
-            match self.world.read(g.sensor, now) {
+            match self.world.read(sensor, now) {
                 Ok(s) => {
                     sample = Some(s);
                     break;
@@ -624,15 +650,14 @@ impl Exec {
                     .record_with(end, TraceKind::SensorRead, "mcu", || e.to_string()),
             }
         }
-        if sample.is_some() && self.trace.is_enabled() {
-            let sensor = self.trace.intern(&g.sensor.to_string());
+        if let Some(lbl) = sensor_label.filter(|_| sample.is_some()) {
             self.trace.event(
                 read_end,
                 TraceKind::SensorRead,
                 "mcu",
                 &[
-                    ("sensor", FieldValue::Str(sensor)),
-                    ("bytes", FieldValue::U64(g.bytes_per_sample as u64)),
+                    ("sensor", FieldValue::Str(lbl)),
+                    ("bytes", FieldValue::U64(bytes_per_sample as u64)),
                 ],
             );
         }
@@ -640,40 +665,48 @@ impl Exec {
         self.trace.exit_span(collect, read_end);
 
         // Collection busy time, split across sharers under BEAM.
-        let share = self.cal.mcu_read_overhead / g.members.len() as u64;
-        for &m in &g.members {
+        let share = self.cal.mcu_read_overhead / members.len() as u64;
+        for &m in &members {
             self.pending(m, window).processing.data_collection += share;
         }
 
         // --- Route per flow. Multi-member groups only exist under BEAM,
         // where every app is per-sample.
-        let flow = self.apps[g.members[0]].flow;
+        let flow = self.apps[members[0]].flow;
         match flow {
             AppFlow::PerSample => {
                 // One interrupt + one transfer for the whole group — this
                 // *is* BEAM's saving when the group is shared.
                 let int_end = self.interrupt(read_end);
-                let tx_end = self.transfer(int_end, g.bytes_per_sample);
-                let n = g.members.len() as u64;
-                let dur = self.cal.transfer_time(g.bytes_per_sample);
-                for &m in &g.members {
+                let tx_end = self.transfer(int_end, bytes_per_sample);
+                let n = members.len() as u64;
+                let dur = self.cal.transfer_time(bytes_per_sample);
+                let last = members.len() - 1;
+                for (i, &m) in members.iter().enumerate() {
                     let handling = self.cal.cpu_interrupt_handling;
                     let pw = self.pending(m, window);
                     pw.processing.interrupt += handling / n;
                     pw.processing.data_transfer += dur / n;
-                    self.deliver(m, window, sample.clone(), tx_end);
+                    // The last sharer takes the sample by move; only the
+                    // ones before it pay for a clone.
+                    let s = if i == last {
+                        sample.take()
+                    } else {
+                        sample.clone()
+                    };
+                    self.deliver(m, window, s, tx_end);
                     self.try_complete_per_sample(m, window);
                 }
             }
             AppFlow::Batched => {
-                let m = g.members[0];
-                let mut buffered = self.mcu.buffer_push(g.bytes_per_sample);
+                let m = members[0];
+                let mut buffered = self.mcu.buffer_push(bytes_per_sample);
                 if !buffered {
                     self.flush_all_batches(read_end);
-                    buffered = self.mcu.buffer_push(g.bytes_per_sample);
+                    buffered = self.mcu.buffer_push(bytes_per_sample);
                 }
                 if buffered {
-                    self.pending(m, window).batch_bytes += g.bytes_per_sample;
+                    self.pending(m, window).batch_bytes += bytes_per_sample;
                     self.deliver(m, window, sample, read_end);
                 } else {
                     // The sample cannot fit the MCU's remaining RAM even
@@ -681,8 +714,8 @@ impl Exec {
                     // it) — it degrades to an immediate per-sample
                     // transfer.
                     let int_end = self.interrupt(read_end);
-                    let tx_end = self.transfer(int_end, g.bytes_per_sample);
-                    let dur = self.cal.transfer_time(g.bytes_per_sample);
+                    let tx_end = self.transfer(int_end, bytes_per_sample);
+                    let dur = self.cal.transfer_time(bytes_per_sample);
                     let handling = self.cal.cpu_interrupt_handling;
                     let pw = self.pending(m, window);
                     pw.processing.interrupt += handling;
@@ -692,7 +725,7 @@ impl Exec {
                 self.try_complete_batched(m, window);
             }
             AppFlow::Offloaded => {
-                let m = g.members[0];
+                let m = members[0];
                 self.deliver(m, window, sample, read_end);
                 self.try_complete_offloaded(m, window);
             }
@@ -703,6 +736,7 @@ impl Exec {
             .max(self.mcu.busy_until())
             .max(self.link_busy_until);
         self.trace.exit_span(tick, tick_end);
+        self.groups[group_idx].members = members;
     }
 
     fn pending(&mut self, app: usize, window: u32) -> &mut PendingWindow {
@@ -980,12 +1014,16 @@ impl Exec {
 
     /// Early-flushes every batched app's pending bytes (buffer pressure).
     fn flush_all_batches(&mut self, ready: SimTime) {
+        // The window-id buffer is owned by `Exec` and reused across
+        // flushes, so repeated buffer pressure doesn't churn the heap.
+        let mut windows = std::mem::take(&mut self.flush_scratch);
         for app in 0..self.apps.len() {
             if self.apps[app].flow != AppFlow::Batched {
                 continue;
             }
-            let windows: Vec<u32> = self.apps[app].pending.keys().copied().collect();
-            for w in windows {
+            windows.clear();
+            windows.extend(self.apps[app].pending.keys().copied());
+            for &w in &windows {
                 let batch = self.apps[app].pending.get(&w).map_or(0, |p| p.batch_bytes);
                 if batch == 0 {
                     continue;
@@ -1014,6 +1052,7 @@ impl Exec {
                 pw.ready = pw.ready.max(tx_end);
             }
         }
+        self.flush_scratch = windows;
     }
 
     fn mcu_buffer_remove(&mut self, bytes: usize) {

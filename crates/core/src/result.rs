@@ -178,6 +178,10 @@ pub struct RunResult {
     pub cpu: CpuStats,
     /// MCU statistics.
     pub mcu: McuStats,
+    /// Simulation events the engine executed to produce this run — a
+    /// deterministic proxy for executor work (the bench suite gates on it;
+    /// see `benches/baseline.json`).
+    pub events_executed: u64,
     /// MCU→CPU interrupts raised.
     pub interrupts: u64,
     /// Sensor reads performed.

@@ -6,6 +6,9 @@
 //! `iotse-apps` to do a real matching job. Which person a scan came from is
 //! the ground truth.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use iotse_sim::rng::SeedTree;
 use iotse_sim::rng::SimRng;
 
@@ -47,7 +50,15 @@ impl FingerTemplate {
     /// scan.
     #[must_use]
     pub fn of_person(seeds: &SeedTree, person: u32) -> Self {
-        let template = cache::memoized(
+        (*FingerTemplate::of_person_shared(seeds, person)).clone()
+    }
+
+    /// Like [`FingerTemplate::of_person`], but hands back the cache's own
+    /// `Arc` — callers that only read the template (the scanner, matchers)
+    /// skip the minutiae clone entirely.
+    #[must_use]
+    pub fn of_person_shared(seeds: &SeedTree, person: u32) -> Arc<Self> {
+        cache::memoized(
             "finger/template",
             seeds.derive(&format!("signal/finger/{person}")),
             u64::from(person),
@@ -62,8 +73,7 @@ impl FingerTemplate {
                     .collect();
                 FingerTemplate { person, minutiae }
             },
-        );
-        (*template).clone()
+        )
     }
 
     /// Encodes the template into the 512-byte wire signature S3 emits.
@@ -122,6 +132,9 @@ impl FingerTemplate {
 pub struct FingerprintScanner {
     seeds: SeedTree,
     rng: SimRng,
+    /// Reference templates this scanner already resolved — repeat scans of
+    /// a person skip the global signal-cache mutex and its key derivation.
+    templates: BTreeMap<u32, Arc<FingerTemplate>>,
 }
 
 impl FingerprintScanner {
@@ -131,6 +144,7 @@ impl FingerprintScanner {
         FingerprintScanner {
             seeds: *seeds,
             rng: seeds.stream("signal/finger/scanner"),
+            templates: BTreeMap::new(),
         }
     }
 
@@ -138,7 +152,12 @@ impl FingerprintScanner {
     /// (±3 px, ±4 angle steps), up to 2 dropped and 2 spurious minutiae.
     #[must_use]
     pub fn scan(&mut self, person: u32) -> FingerTemplate {
-        let reference = FingerTemplate::of_person(&self.seeds, person);
+        let seeds = self.seeds;
+        let reference = self
+            .templates
+            .entry(person)
+            .or_insert_with(|| FingerTemplate::of_person_shared(&seeds, person))
+            .clone();
         let mut minutiae: Vec<Minutia> = Vec::with_capacity(reference.minutiae.len());
         for m in &reference.minutiae {
             if self.rng.gen::<f64>() <= 0.06 {

@@ -36,9 +36,23 @@ use crate::time::{SimDuration, SimTime};
 /// A scheduled event handler.
 pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
 
+/// A plain-function event handler carrying two integer arguments — the
+/// allocation-free fast path for dense periodic schedules (see
+/// [`Engine::schedule_call`]).
+pub type CallFn<S> = fn(&mut S, &mut Engine<S>, u64, u64);
+
+enum EventBody<S> {
+    /// A boxed closure: flexible, one heap allocation per event.
+    Boxed(EventFn<S>),
+    /// A plain `fn` plus two `u64` payload words: zero allocations. Dense
+    /// schedules (the executor's per-tick events) use this so scheduling a
+    /// million ticks costs no per-event heap traffic.
+    Call { f: CallFn<S>, a: u64, b: u64 },
+}
+
 struct Event<S> {
     label: &'static str,
-    run: EventFn<S>,
+    body: EventBody<S>,
 }
 
 impl<S> std::fmt::Debug for Event<S> {
@@ -76,6 +90,20 @@ impl<S> Engine<S> {
         Engine {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+            executed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// Creates an engine whose pending-event set has room for `events`
+    /// without reallocating — callers that schedule a whole run up front
+    /// (the executor schedules every tick of every window) avoid the heap's
+    /// doubling regrowth.
+    #[must_use]
+    pub fn with_capacity(events: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(events),
             executed: 0,
             stop_requested: false,
         }
@@ -143,7 +171,37 @@ impl<S> Engine<S> {
             time,
             Event {
                 label,
-                run: Box::new(event),
+                body: EventBody::Boxed(Box::new(event)),
+            },
+        );
+    }
+
+    /// Schedules a plain-function event carrying two integer payload words.
+    /// Unlike the closure-based `schedule_*` methods this allocates nothing:
+    /// the handler and its arguments live inline in the event queue. Hot
+    /// schedulers (the executor's tick fan-out) use this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Engine::now`].
+    pub fn schedule_call(
+        &mut self,
+        time: SimTime,
+        label: &'static str,
+        f: CallFn<S>,
+        a: u64,
+        b: u64,
+    ) {
+        assert!(
+            time >= self.now,
+            "cannot schedule {label:?} at {time} which is before now ({})",
+            self.now
+        );
+        self.queue.push(
+            time,
+            Event {
+                label,
+                body: EventBody::Call { f, a, b },
             },
         );
     }
@@ -163,7 +221,10 @@ impl<S> Engine<S> {
         debug_assert!(scheduled.time >= self.now);
         self.now = scheduled.time;
         self.executed += 1;
-        (scheduled.item.run)(state, self);
+        match scheduled.item.body {
+            EventBody::Boxed(run) => run(state, self),
+            EventBody::Call { f, a, b } => f(state, self, a, b),
+        }
         true
     }
 
@@ -307,5 +368,54 @@ mod tests {
     fn step_on_empty_returns_false() {
         let mut engine: Engine<()> = Engine::new();
         assert!(!engine.step(&mut ()));
+    }
+
+    #[test]
+    fn scheduled_calls_interleave_with_closures_in_fifo_order() {
+        fn push(log: &mut Vec<(u64, u64)>, e: &mut Engine<Vec<(u64, u64)>>, a: u64, b: u64) {
+            let now = e.now().as_millis();
+            log.push((now * 100 + a, b));
+        }
+        let mut log: Vec<(u64, u64)> = Vec::new();
+        let mut engine = Engine::with_capacity(4);
+        engine.schedule_call(SimTime::from_millis(2), "call", push, 1, 10);
+        engine.schedule_at(SimTime::from_millis(2), |log: &mut Vec<(u64, u64)>, _| {
+            log.push((999, 0));
+        });
+        engine.schedule_call(SimTime::from_millis(1), "call", push, 2, 20);
+        assert_eq!(engine.run(&mut log), RunOutcome::Drained);
+        // Time order first, then insertion order at the same instant.
+        assert_eq!(log, vec![(102, 20), (201, 10), (999, 0)]);
+        assert_eq!(engine.events_executed(), 3);
+    }
+
+    #[test]
+    fn scheduled_calls_can_schedule_followups() {
+        fn tick(count: &mut u64, e: &mut Engine<u64>, n: u64, _: u64) {
+            *count += n;
+            if n < 4 {
+                e.schedule_call(
+                    e.now() + SimDuration::from_millis(1),
+                    "tick",
+                    tick,
+                    n + 1,
+                    0,
+                );
+            }
+        }
+        let mut count = 0u64;
+        let mut engine = Engine::new();
+        engine.schedule_call(SimTime::ZERO, "tick", tick, 1, 0);
+        engine.run(&mut count);
+        assert_eq!(count, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_a_call_in_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(SimTime::from_millis(5), |_, _| {});
+        engine.run(&mut ());
+        engine.schedule_call(SimTime::from_millis(1), "late", |_, _, _, _| {}, 0, 0);
     }
 }

@@ -122,6 +122,107 @@ impl FieldValue {
     }
 }
 
+/// Inline capacity of a [`FieldList`]. The widest field set any recorder
+/// attaches (the QoS event's result/window/deadline triple) fits here, so
+/// steady-state tracing allocates for label interning only — once per
+/// distinct string, never per span or event.
+const FIELDS_INLINE: usize = 3;
+
+/// Padding for unused inline slots (the disabled-intern sentinel label).
+const FIELD_PAD: (Label, FieldValue) = (Label(u32::MAX), FieldValue::U64(0));
+
+/// A span/event field list with inline storage for up to [`FIELDS_INLINE`]
+/// pairs; longer lists spill to the heap. Dereferences to a
+/// `[(Label, FieldValue)]` slice, so consumers iterate and index it like
+/// the `Vec` it replaced.
+#[derive(Debug, Clone)]
+pub struct FieldList(FieldStore);
+
+#[derive(Debug, Clone)]
+enum FieldStore {
+    /// `len` live pairs; slots past `len` hold [`FIELD_PAD`].
+    Inline {
+        len: u8,
+        buf: [(Label, FieldValue); FIELDS_INLINE],
+    },
+    /// Spilled storage for lists longer than [`FIELDS_INLINE`].
+    Heap(Vec<(Label, FieldValue)>),
+}
+
+impl FieldList {
+    /// An empty list (allocation-free).
+    #[must_use]
+    pub fn new() -> Self {
+        FieldList(FieldStore::Inline {
+            len: 0,
+            buf: [FIELD_PAD; FIELDS_INLINE],
+        })
+    }
+
+    /// Appends a pair, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, pair: (Label, FieldValue)) {
+        match &mut self.0 {
+            FieldStore::Inline { len, buf } => {
+                if (*len as usize) < FIELDS_INLINE {
+                    buf[*len as usize] = pair;
+                    *len += 1;
+                } else {
+                    let mut spilled = buf.to_vec();
+                    spilled.push(pair);
+                    self.0 = FieldStore::Heap(spilled);
+                }
+            }
+            FieldStore::Heap(v) => v.push(pair),
+        }
+    }
+
+    /// The live pairs as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(Label, FieldValue)] {
+        match &self.0 {
+            FieldStore::Inline { len, buf } => &buf[..*len as usize],
+            FieldStore::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for FieldList {
+    fn default() -> Self {
+        FieldList::new()
+    }
+}
+
+impl std::ops::Deref for FieldList {
+    type Target = [(Label, FieldValue)];
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for FieldList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl FromIterator<(Label, FieldValue)> for FieldList {
+    fn from_iter<I: IntoIterator<Item = (Label, FieldValue)>>(iter: I) -> Self {
+        let mut list = FieldList::new();
+        for pair in iter {
+            list.push(pair);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a FieldList {
+    type Item = &'a (Label, FieldValue);
+    type IntoIter = std::slice::Iter<'a, (Label, FieldValue)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One node of the span tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
@@ -140,7 +241,7 @@ pub struct Span {
     /// the tree reproduces `EnergyLedger::total()` exactly.
     pub weight: f64,
     /// Typed key/value attachments.
-    pub fields: Vec<(Label, FieldValue)>,
+    pub fields: FieldList,
 }
 
 /// One point-in-time event, attached to the innermost open span.
@@ -155,7 +256,7 @@ pub struct TraceEvent {
     /// Which component reported it (interned; e.g. `"mcu"`, `"link"`).
     pub source: Label,
     /// Typed key/value attachments.
-    pub fields: Vec<(Label, FieldValue)>,
+    pub fields: FieldList,
 }
 
 /// One trace entry — the PR-0 compatibility shape, rendered on demand by
@@ -307,7 +408,7 @@ impl TraceLog {
             enter: time,
             exit: None,
             weight: 0.0,
-            fields: Vec::new(),
+            fields: FieldList::new(),
         });
         self.open.push(id);
         id
@@ -442,7 +543,7 @@ impl TraceLog {
             return;
         }
         let source = self.labels.intern(source);
-        let fields = fields
+        let fields: FieldList = fields
             .iter()
             .map(|&(name, value)| (self.labels.intern(name), value))
             .collect();
@@ -494,12 +595,14 @@ impl TraceLog {
     fn event_with_msg(&mut self, time: SimTime, kind: TraceKind, source: &str, msg: Label) {
         let source = self.labels.intern(source);
         let name = self.labels.intern("msg");
+        let mut fields = FieldList::new();
+        fields.push((name, FieldValue::Str(msg)));
         self.events.push(TraceEvent {
             time,
             kind,
             span: self.open.last().copied(),
             source,
-            fields: vec![(name, FieldValue::Str(msg))],
+            fields,
         });
     }
 
@@ -686,6 +789,28 @@ mod tests {
         assert_eq!(events[1].span, Some(root));
         assert_eq!(events[2].span, None);
         assert_eq!(log.detail(&events[1]), "bytes=2400");
+    }
+
+    #[test]
+    fn field_lists_hold_inline_then_spill() {
+        let mut log = TraceLog::enabled();
+        let span = log.enter_span(SimTime::ZERO, TraceKind::Scheme, "iotse_sim_wide");
+        for i in 0..5u64 {
+            log.span_field(span, "k", FieldValue::U64(i));
+        }
+        log.exit_span(span, SimTime::ZERO);
+        let k = log.intern("k");
+        let fields = &log.spans()[0].fields;
+        assert_eq!(fields.len(), 5);
+        for (i, &(name, value)) in fields.iter().enumerate() {
+            assert_eq!(name, k);
+            assert_eq!(value, FieldValue::U64(i as u64));
+        }
+        // Equality is by contents, inline or spilled.
+        let a: FieldList = (0..2u64).map(|i| (k, FieldValue::U64(i))).collect();
+        let b: FieldList = (0..2u64).map(|i| (k, FieldValue::U64(i))).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, FieldList::new());
     }
 
     #[test]
