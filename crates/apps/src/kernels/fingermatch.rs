@@ -59,6 +59,7 @@ impl FingerDb {
     pub fn new(config: MatchConfig) -> Self {
         FingerDb {
             config,
+            // lint: one-time constructor; enrollment happens before any window runs
             enrolled: Vec::new(),
         }
     }
@@ -91,6 +92,7 @@ impl FingerDb {
         }
         // Greedy one-to-one assignment: each reference minutia may be
         // claimed once.
+        // lint: per-scan claim mask bounded by minutiae count (~32 bytes/window)
         let mut claimed = vec![false; reference.len()];
         let mut matched = 0usize;
         for s in scan {

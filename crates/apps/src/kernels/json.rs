@@ -92,14 +92,7 @@ impl Json {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Number(x) => {
-                assert!(x.is_finite(), "JSON cannot represent {x}");
-                if *x == x.trunc() && x.abs() < 1e15 {
-                    let _ = fmt::Write::write_fmt(out, format_args!("{}", *x as i64));
-                } else {
-                    let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
-                }
-            }
+            Json::Number(x) => write_number(out, *x),
             Json::String(s) => write_escaped(out, s),
             Json::Array(items) => {
                 out.push('[');
@@ -144,9 +137,53 @@ impl Json {
         }
         Ok(v)
     }
+
+    /// Checks that `text` is syntactically valid JSON without building a
+    /// document — the success path performs no heap allocation, so hot
+    /// kernels (the M2X client verifies every body it frames) can validate
+    /// inside their steady-state zero-alloc budget. Accepts exactly the
+    /// inputs [`Json::parse`] accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseJsonError`] describing the first syntax problem.
+    pub fn validate(text: &str) -> Result<(), ParseJsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.skim_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(())
+    }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+/// Appends `x` in exactly the form [`Json::to_text`] uses for
+/// `Json::Number` — integers in `i64` form, everything else via the
+/// shortest-round-trip `Display`. Streaming serializers (the M2X client
+/// writes its body straight into a scratch `String`) use this so their
+/// output stays byte-identical to a `Json` tree's.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite (JSON cannot represent NaN/∞).
+pub fn write_number(out: &mut String, x: f64) {
+    assert!(x.is_finite(), "JSON cannot represent {x}");
+    if x == x.trunc() && x.abs() < 1e15 {
+        let _ = fmt::Write::write_fmt(out, format_args!("{}", x as i64));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+    }
+}
+
+/// Appends `s` as a quoted JSON string with exactly the escapes
+/// [`Json::to_text`] produces — the streaming counterpart of
+/// `Json::String`.
+pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -319,8 +356,112 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| self.err(format!("bad number '{text}'")))
     }
 
+    /// The allocation-free mirror of [`Parser::value`]: skims past one JSON
+    /// value, validating syntax without materialising it.
+    fn skim_value(&mut self) -> Result<(), ParseJsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null).map(drop),
+            Some(b't') => self.literal("true", Json::Bool(true)).map(drop),
+            Some(b'f') => self.literal("false", Json::Bool(false)).map(drop),
+            Some(b'"') => self.skim_string(),
+            Some(b'[') => self.skim_array(),
+            Some(b'{') => self.skim_object(),
+            Some(b'-' | b'0'..=b'9') => self.number().map(drop),
+            Some(c) => Err(self.err(format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn skim_string(&mut self) -> Result<(), ParseJsonError> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'n' | b'r' | b't' | b'b' | b'f') => {}
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        if char::from_u32(code).is_none() {
+                            return Err(self.err("bad code point"));
+                        }
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(c) => {
+                    if c >= 0x80 {
+                        let start = self.pos - 1;
+                        let width = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        if start + width > self.bytes.len() {
+                            return Err(self.err("truncated UTF-8"));
+                        }
+                        if std::str::from_utf8(&self.bytes[start..start + width]).is_err() {
+                            return Err(self.err("invalid UTF-8"));
+                        }
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+    }
+
+    fn skim_array(&mut self) -> Result<(), ParseJsonError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.skim_value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn skim_object(&mut self) -> Result<(), ParseJsonError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.skim_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.skim_value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
     fn array(&mut self) -> Result<Json, ParseJsonError> {
         self.expect(b'[')?;
+        // lint: parsing builds the owned tree; A3 keeps the allocating path deliberately
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -452,6 +593,39 @@ mod tests {
     #[should_panic(expected = "JSON cannot represent")]
     fn non_finite_numbers_panic_on_serialize() {
         let _ = Json::Number(f64::NAN).to_text();
+    }
+
+    #[test]
+    fn validate_agrees_with_parse() {
+        let good = [
+            r#"{"a":[1,2.5e1,"s"],"b":{}}"#,
+            " [ true , null , \"x\\u00e9\" ] ",
+            "-12.5",
+            r#""é café ☕""#,
+        ];
+        for text in good {
+            assert!(Json::parse(text).is_ok(), "parse rejected {text:?}");
+            assert!(Json::validate(text).is_ok(), "validate rejected {text:?}");
+        }
+        for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\" 1}", "[1] x", "nan"] {
+            let p = Json::parse(bad).expect_err("parse accepts");
+            let v = Json::validate(bad).expect_err("validate accepts");
+            assert_eq!(p.position, v.position, "positions differ on {bad:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_writers_match_tree_serialization() {
+        for x in [0.0, -0.0, 42.0, 42.5, -2.5, 1013.25, 1e20, 0.1] {
+            let mut streamed = String::new();
+            write_number(&mut streamed, x);
+            assert_eq!(streamed, Json::Number(x).to_text(), "number {x}");
+        }
+        for s in ["plain", "x\"y\\z\n", "é café ☕", "tab\tand\u{1}ctl"] {
+            let mut streamed = String::new();
+            write_escaped(&mut streamed, s);
+            assert_eq!(streamed, Json::String(s.to_string()).to_text(), "{s:?}");
+        }
     }
 
     #[test]

@@ -95,6 +95,7 @@ impl QrsDetector {
         );
         QrsDetector {
             config,
+            // lint: one-time constructor; the ring buffer is reused every window
             integrator: vec![0.0; config.integration_samples],
             int_pos: 0,
             int_sum: 0.0,
@@ -103,6 +104,7 @@ impl QrsDetector {
             noise_level: 0.0,
             samples_seen: 0,
             last_beat_at: None,
+            // lint: one-time constructor; RR history grows with detected beats only
             rr_history: Vec::new(),
         }
     }

@@ -4,6 +4,13 @@
 //! over the vocabulary's tone frequencies) feeding a dynamic-time-warping
 //! matcher against synthesized per-word templates. Heavy on purpose — this
 //! is the paper's one workload that cannot fit the MCU.
+//!
+//! Feature sequences are **flat** `Vec<f64>` buffers (`frames × dim`,
+//! row-major) rather than `Vec<Vec<f64>>`, and the hot entry point
+//! [`KeywordSpotter::recognize_into`] writes into caller-provided buffers —
+//! a window of steady-state recognition allocates nothing. Arithmetic is
+//! performed in exactly the order the nested-`Vec` formulation used, so
+//! results are bit-identical.
 
 use std::f64::consts::PI;
 
@@ -45,18 +52,19 @@ pub fn filter_bank() -> Vec<f64> {
     freqs
 }
 
-/// One frame's feature vector: normalized filter-bank powers.
-#[must_use]
-fn frame_features(frame: &[f64], bank: &[f64], sample_rate_hz: f64) -> Vec<f64> {
-    let mut feats: Vec<f64> = bank
-        .iter()
-        .map(|&f| goertzel_power(frame, f, sample_rate_hz))
-        .collect();
+/// Appends one frame's feature vector (normalized filter-bank powers,
+/// `bank.len()` values) to `out`.
+fn frame_features_into(frame: &[f64], bank: &[f64], sample_rate_hz: f64, out: &mut Vec<f64>) {
+    let start = out.len();
+    out.extend(
+        bank.iter()
+            .map(|&f| goertzel_power(frame, f, sample_rate_hz)),
+    );
+    let feats = &mut out[start..];
     let norm: f64 = feats.iter().sum::<f64>().max(1e-12);
-    for f in &mut feats {
+    for f in feats {
         *f /= norm;
     }
-    feats
 }
 
 /// Dynamic-time-warping distance between two feature sequences
@@ -72,19 +80,48 @@ pub fn dtw_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
         "DTW needs non-empty sequences"
     );
     assert_eq!(a[0].len(), b[0].len(), "feature dimensions differ");
+    let dim = a[0].len();
+    // lint: allocating convenience wrapper; the hot path is dtw_flat with reused rows
+    let flat_a: Vec<f64> = a.iter().flatten().copied().collect();
+    // lint: allocating convenience wrapper; the hot path is dtw_flat with reused rows
+    let flat_b: Vec<f64> = b.iter().flatten().copied().collect();
+    // lint: allocating convenience wrapper; the hot path is dtw_flat with reused rows
+    let (mut prev, mut curr) = (Vec::new(), Vec::new());
+    dtw_flat(&flat_a, &flat_b, dim, &mut prev, &mut curr)
+}
+
+/// [`dtw_distance`] over flat row-major sequences (`len / dim` frames
+/// each), using caller-provided DP rows — no allocation once the rows have
+/// grown. Produces bit-identical distances to [`dtw_distance`].
+///
+/// # Panics
+///
+/// Panics if either sequence is empty, or if `dim` is zero or does not
+/// divide both lengths.
+#[must_use]
+pub fn dtw_flat(a: &[f64], b: &[f64], dim: usize, prev: &mut Vec<f64>, curr: &mut Vec<f64>) -> f64 {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "DTW needs non-empty sequences"
+    );
+    assert!(dim > 0, "feature dimension must be positive");
+    assert_eq!(a.len() % dim, 0, "sequence a is not a multiple of dim");
+    assert_eq!(b.len() % dim, 0, "sequence b is not a multiple of dim");
     let cost = |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(p, q)| (p - q).abs()).sum() };
-    let n = a.len();
-    let m = b.len();
-    let mut prev = vec![f64::INFINITY; m + 1];
-    let mut curr = vec![f64::INFINITY; m + 1];
+    let n = a.len() / dim;
+    let m = b.len() / dim;
+    prev.clear();
+    prev.resize(m + 1, f64::INFINITY);
+    curr.clear();
+    curr.resize(m + 1, f64::INFINITY);
     prev[0] = 0.0;
     for i in 1..=n {
         curr[0] = f64::INFINITY;
         for j in 1..=m {
-            let c = cost(&a[i - 1], &b[j - 1]);
+            let c = cost(&a[(i - 1) * dim..i * dim], &b[(j - 1) * dim..j * dim]);
             curr[j] = c + prev[j - 1].min(prev[j]).min(curr[j - 1]);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     prev[m] / (n + m) as f64
 }
@@ -105,7 +142,8 @@ pub struct Recognition {
 pub struct KeywordSpotter {
     sample_rate_hz: f64,
     bank: Vec<f64>,
-    templates: Vec<Vec<Vec<f64>>>,
+    /// One flat `frames × dim` feature sequence per vocabulary word.
+    templates: Vec<Vec<f64>>,
 }
 
 impl KeywordSpotter {
@@ -132,11 +170,14 @@ impl KeywordSpotter {
                             * ((2.0 * PI * f1 * t).sin() + 0.8 * (2.0 * PI * f2 * t).sin())
                     })
                     .collect();
-                signal
+                let mut template = Vec::new(); // lint: one-time template synthesis at construction
+                for c in signal
                     .chunks(FRAME_SAMPLES)
                     .filter(|c| c.len() == FRAME_SAMPLES)
-                    .map(|c| frame_features(c, &bank, sample_rate_hz))
-                    .collect()
+                {
+                    frame_features_into(c, &bank, sample_rate_hz, &mut template);
+                }
+                template
             })
             .collect();
         KeywordSpotter {
@@ -150,27 +191,51 @@ impl KeywordSpotter {
     /// 512 counts). Returns one recognition per speech segment found.
     #[must_use]
     pub fn recognize(&self, samples: &[f64]) -> Vec<Recognition> {
-        // 1. Voice activity detection per frame.
-        let frames: Vec<&[f64]> = samples.chunks(FRAME_SAMPLES).collect();
-        let active: Vec<bool> = frames
-            .iter()
-            .map(|f| {
-                let energy: f64 = f.iter().map(|&x| (x - 512.0) * (x - 512.0)).sum::<f64>()
-                    / f.len().max(1) as f64;
-                energy > SPEECH_ENERGY_GATE
-            })
-            .collect();
+        // lint: allocating convenience wrapper; hot callers reuse buffers via recognize_into
+        let (mut feats, mut prev) = (Vec::new(), Vec::new());
+        // lint: allocating convenience wrapper; hot callers reuse buffers via recognize_into
+        let (mut curr, mut out) = (Vec::new(), Vec::new());
+        self.recognize_into(samples, &mut feats, &mut prev, &mut curr, &mut out);
+        out
+    }
+
+    /// [`KeywordSpotter::recognize`] into caller-provided buffers: `feats`
+    /// holds the segment's flat feature rows, `prev`/`curr` the DTW DP
+    /// rows, and `out` (cleared first) receives the recognitions — the
+    /// steady-state path allocates nothing once the buffers have grown.
+    pub fn recognize_into(
+        &self,
+        samples: &[f64],
+        feats: &mut Vec<f64>,
+        prev: &mut Vec<f64>,
+        curr: &mut Vec<f64>,
+        out: &mut Vec<Recognition>,
+    ) {
+        out.clear();
+        // 1. Voice activity detection per frame, computed on the fly.
+        let n_frames = samples.len().div_ceil(FRAME_SAMPLES);
+        let frame =
+            |i: usize| &samples[i * FRAME_SAMPLES..samples.len().min((i + 1) * FRAME_SAMPLES)];
+        let is_active = |i: usize| {
+            let f = frame(i);
+            let energy: f64 =
+                f.iter().map(|&x| (x - 512.0) * (x - 512.0)).sum::<f64>() / f.len().max(1) as f64;
+            energy > SPEECH_ENERGY_GATE
+        };
 
         // 2. Segment contiguous active regions.
-        let mut out = Vec::new();
         let mut seg_start: Option<usize> = None;
-        for i in 0..=active.len() {
-            let is_active = i < active.len() && active[i];
-            match (seg_start, is_active) {
+        for i in 0..=n_frames {
+            let active = i < n_frames && is_active(i);
+            match (seg_start, active) {
                 (None, true) => seg_start = Some(i),
                 (Some(s), false) => {
                     if i - s >= 2 {
-                        if let Some(r) = self.classify(&frames[s..i], s * FRAME_SAMPLES) {
+                        let segment =
+                            &samples[s * FRAME_SAMPLES..samples.len().min(i * FRAME_SAMPLES)];
+                        if let Some(r) =
+                            self.classify_into(segment, s * FRAME_SAMPLES, feats, prev, curr)
+                        {
                             out.push(r);
                         }
                     }
@@ -179,16 +244,25 @@ impl KeywordSpotter {
                 _ => {}
             }
         }
-        out
     }
 
     /// Classifies one speech segment by minimum DTW distance.
-    fn classify(&self, frames: &[&[f64]], start_sample: usize) -> Option<Recognition> {
-        let feats: Vec<Vec<f64>> = frames
-            .iter()
+    fn classify_into(
+        &self,
+        segment: &[f64],
+        start_sample: usize,
+        feats: &mut Vec<f64>,
+        prev: &mut Vec<f64>,
+        curr: &mut Vec<f64>,
+    ) -> Option<Recognition> {
+        let dim = self.bank.len();
+        feats.clear();
+        for f in segment
+            .chunks(FRAME_SAMPLES)
             .filter(|f| f.len() == FRAME_SAMPLES)
-            .map(|f| frame_features(f, &self.bank, self.sample_rate_hz))
-            .collect();
+        {
+            frame_features_into(f, &self.bank, self.sample_rate_hz, feats);
+        }
         if feats.is_empty() {
             return None;
         }
@@ -196,7 +270,7 @@ impl KeywordSpotter {
             .templates
             .iter()
             .enumerate()
-            .map(|(w, t)| (w, dtw_distance(&feats, t)))
+            .map(|(w, t)| (w, dtw_flat(feats, t, dim, prev, curr)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))?;
         Some(Recognition {
             word,
@@ -253,6 +327,36 @@ mod tests {
         ];
         let other = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
         assert!(dtw_distance(&a, &stretched) < dtw_distance(&a, &other));
+    }
+
+    #[test]
+    fn flat_dtw_matches_nested_dtw() {
+        let a = vec![vec![1.0, 0.0], vec![0.25, 0.75], vec![0.0, 1.0]];
+        let b = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        let flat_a: Vec<f64> = a.iter().flatten().copied().collect();
+        let flat_b: Vec<f64> = b.iter().flatten().copied().collect();
+        let (mut prev, mut curr) = (vec![7.0; 9], vec![-1.0]); // dirty rows
+        let flat = dtw_flat(&flat_a, &flat_b, 2, &mut prev, &mut curr);
+        assert_eq!(flat.to_bits(), dtw_distance(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn recognize_into_matches_allocating_api_across_reuse() {
+        // The same buffers, reused across windows with different content,
+        // must reproduce the allocating API exactly (distances included).
+        let generator = AudioGenerator::new(&SeedTree::new(21), 3, SimTime::from_secs(9));
+        let spotter = KeywordSpotter::new(1000.0);
+        let (mut feats, mut prev, mut curr, mut out) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for u in generator.utterances() {
+            let start = u.at.as_millis().saturating_sub(100);
+            let samples: Vec<f64> = (0..1000)
+                .map(|ms| generator.value_at(SimTime::from_millis(start + ms)))
+                .collect();
+            spotter.recognize_into(&samples, &mut feats, &mut prev, &mut curr, &mut out);
+            assert_eq!(out, spotter.recognize(&samples));
+            assert!(!out.is_empty(), "centred utterance must be segmented");
+        }
     }
 
     #[test]

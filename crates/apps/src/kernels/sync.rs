@@ -66,6 +66,7 @@ pub fn chunk(data: &[u8], config: &ChunkConfig) -> Vec<Chunk> {
     assert!(config.min_chunk > 0, "min chunk must be positive");
     assert!(config.min_chunk <= config.max_chunk, "min chunk above max");
     assert!(config.modulus > 0, "modulus must be positive");
+    // lint: the chunk list is the function's return value; callers own it
     let mut chunks = Vec::new();
     let mut start = 0usize;
     let mut hash: u64 = 0;

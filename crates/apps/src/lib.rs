@@ -12,6 +12,8 @@
 //! * [`kernels`] — the algorithm libraries.
 //! * [`table2`] — A1–A11 workload definitions (sensors, Figure 6
 //!   resources, kernels).
+//! * [`scratch`] — reusable per-workload buffers that make steady-state
+//!   window execution (near) zero-alloc.
 //! * [`catalog`] — build apps by [`AppId`](iotse_core::AppId), including
 //!   the paper's 14 Figure 11 combinations.
 //!
@@ -41,6 +43,7 @@
 
 pub mod catalog;
 pub mod kernels;
+pub mod scratch;
 pub mod table2;
 
 pub use catalog::{app, apps, figure11_combinations, light_apps};

@@ -1,0 +1,122 @@
+//! Reusable per-workload scratch buffers.
+//!
+//! Every [`Workload`](iotse_core::workload::Workload) is `&mut self` for the
+//! whole run, so a workload that owns a [`Scratch`] can reuse the same heap
+//! blocks window after window: after the first few windows grow each buffer
+//! to its steady-state size, `compute` performs (near) zero allocation.
+//!
+//! # Lifetime rules
+//!
+//! - Scratch contents are **meaningless between `compute` calls**. A kernel
+//!   must `clear()` (or overwrite) every lane it reads *before* reading it;
+//!   it must never assume a lane still holds last window's data. (Stateful
+//!   kernels like A6's chunk store keep their cross-window state in their
+//!   own fields, never in scratch.)
+//! - Lanes are plain `pub` fields so a workload can split-borrow several at
+//!   once (`&mut s.text_a` alongside `&mut s.text_b`) and hand disjoint
+//!   lanes to kernel `*_into` entry points.
+//! - `clear()` on a `String`/`Vec` keeps its capacity — that retention *is*
+//!   the optimization. Nothing here shrinks; a fleet that wants memory back
+//!   drops the workload.
+//!
+//! Scratch deliberately has no accessor methods: a method returning
+//! `&mut Vec<f64>` would borrow the whole struct and forbid passing two
+//! lanes to one call.
+
+/// A grab-bag of growable buffers a workload reuses across windows.
+///
+/// Lane names are by type, not by purpose — the same `scalars` lane holds
+/// ECG samples in A8 and audio samples in A11. See the module docs for the
+/// lifetime rules.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// First text lane (e.g. a streamed JSON body).
+    pub text_a: String,
+    /// Second text lane (e.g. the HTTP envelope around `text_a`).
+    pub text_b: String,
+    /// First byte lane (e.g. a luma plane or a file image).
+    pub bytes_a: Vec<u8>,
+    /// Second byte lane (e.g. decoded pixels compared against `bytes_a`).
+    pub bytes_b: Vec<u8>,
+    /// Scalar samples lane.
+    pub scalars: Vec<f64>,
+    /// Flattened feature-vector lane (speech MFCC-ish rows).
+    pub feats: Vec<f64>,
+    /// First DTW row lane.
+    pub row_a: Vec<f64>,
+    /// Second DTW row lane.
+    pub row_b: Vec<f64>,
+    /// Triple samples lane (accelerometer).
+    pub triples: Vec<[f64; 3]>,
+    /// Signed-word lane (JPEG entropy symbols).
+    pub words: Vec<i32>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch (no capacity reserved; lanes grow on first
+    /// use and then stay grown).
+    #[must_use]
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Clears every lane, keeping capacity. Kernels normally clear only the
+    /// lanes they use; this is for tests and paranoia.
+    pub fn clear(&mut self) {
+        let Scratch {
+            text_a,
+            text_b,
+            bytes_a,
+            bytes_b,
+            scalars,
+            feats,
+            row_a,
+            row_b,
+            triples,
+            words,
+        } = self;
+        text_a.clear();
+        text_b.clear();
+        bytes_a.clear();
+        bytes_b.clear();
+        scalars.clear();
+        feats.clear();
+        row_a.clear();
+        row_b.clear();
+        triples.clear();
+        words.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = Scratch::new();
+        s.text_a.push_str("0123456789");
+        s.scalars.extend((0..100).map(f64::from));
+        s.words.extend(0..50);
+        let (tc, sc, wc) = (
+            s.text_a.capacity(),
+            s.scalars.capacity(),
+            s.words.capacity(),
+        );
+        s.clear();
+        assert!(s.text_a.is_empty() && s.scalars.is_empty() && s.words.is_empty());
+        assert_eq!(s.text_a.capacity(), tc);
+        assert_eq!(s.scalars.capacity(), sc);
+        assert_eq!(s.words.capacity(), wc);
+    }
+
+    #[test]
+    fn lanes_split_borrow() {
+        let mut s = Scratch::new();
+        // The whole point of pub fields: two lanes borrowed mutably at once.
+        let (a, b) = (&mut s.row_a, &mut s.row_b);
+        a.push(1.0);
+        b.push(2.0);
+        assert_eq!((s.row_a[0], s.row_b[0]), (1.0, 2.0));
+    }
+}

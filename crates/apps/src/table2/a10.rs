@@ -17,6 +17,10 @@ use crate::kernels::fingermatch::{FingerDb, MatchConfig};
 #[derive(Debug, Clone)]
 pub struct FingerprintRegister {
     db: FingerDb,
+    /// The constructor arguments, kept as the compute-cache salt: two
+    /// registers with different enrollments answer differently on the same
+    /// scan, so they must not share cache entries.
+    salt: u128,
 }
 
 impl FingerprintRegister {
@@ -30,7 +34,10 @@ impl FingerprintRegister {
         for person in 0..people {
             db.enroll(person, FingerTemplate::of_person(&seeds, person));
         }
-        FingerprintRegister { db }
+        FingerprintRegister {
+            db,
+            salt: (u128::from(seed) << 32) | u128::from(people),
+        }
     }
 }
 
@@ -54,6 +61,17 @@ impl Workload for FingerprintRegister {
     fn resources(&self) -> ResourceProfile {
         // Integer-heavy matching ports well to the MCU (mild slowdown).
         super::profile(21_811, 307, 60.0, 33.0, 36.0)
+    }
+
+    fn memoizable(&self) -> bool {
+        // The database is enrolled once at construction and `identify` is
+        // `&self` — identification is a pure function of the scan bytes
+        // and the salt-distinguished enrollment.
+        true
+    }
+
+    fn memo_salt(&self) -> u128 {
+        self.salt
     }
 
     fn compute(&mut self, data: &WindowData) -> AppOutput {

@@ -10,12 +10,15 @@ use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, Windo
 use iotse_sensors::spec::SensorId;
 use iotse_sim::time::SimDuration;
 
-use crate::kernels::speech::KeywordSpotter;
+use crate::kernels::speech::{KeywordSpotter, Recognition};
+use crate::scratch::Scratch;
 
 /// The speech-to-text workload.
 #[derive(Debug, Clone)]
 pub struct SpeechToText {
     spotter: KeywordSpotter,
+    scratch: Scratch,
+    recognitions: Vec<Recognition>,
 }
 
 impl SpeechToText {
@@ -24,6 +27,8 @@ impl SpeechToText {
     pub fn new() -> Self {
         SpeechToText {
             spotter: KeywordSpotter::new(1000.0),
+            scratch: Scratch::new(),
+            recognitions: Vec::new(), // lint: one-time constructor, reused every window
         }
     }
 }
@@ -75,16 +80,31 @@ impl Workload for SpeechToText {
         }
     }
 
+    fn memoizable(&self) -> bool {
+        // `recognize` is `&self` over the fixed templates; the scratch
+        // buffers are workspace, not state.
+        true
+    }
+
     fn compute(&mut self, data: &WindowData) -> AppOutput {
-        let samples: Vec<f64> = data
-            .sensor(SensorId::S8)
-            .iter()
-            .filter_map(|s| s.value.as_scalar())
-            .collect();
+        let Scratch {
+            scalars: samples,
+            feats,
+            row_a,
+            row_b,
+            ..
+        } = &mut self.scratch;
+        samples.clear();
+        samples.extend(
+            data.sensor(SensorId::S8)
+                .iter()
+                .filter_map(|s| s.value.as_scalar()),
+        );
+        self.spotter
+            .recognize_into(samples, feats, row_a, row_b, &mut self.recognitions);
         let words = self
-            .spotter
-            .recognize(&samples)
-            .into_iter()
+            .recognitions
+            .iter()
             .map(|r| self.spotter.word_str(r.word).to_string())
             .collect();
         AppOutput::Words(words)

@@ -8,11 +8,13 @@ use iotse_sensors::spec::SensorId;
 use iotse_sim::time::SimDuration;
 
 use crate::kernels::stepcount::{count_steps, StepConfig};
+use crate::scratch::Scratch;
 
 /// The step-counter workload.
 #[derive(Debug, Clone)]
 pub struct StepCounter {
     config: StepConfig,
+    scratch: Scratch,
 }
 
 impl StepCounter {
@@ -21,6 +23,7 @@ impl StepCounter {
     pub fn new() -> Self {
         StepCounter {
             config: StepConfig::default(),
+            scratch: Scratch::new(),
         }
     }
 }
@@ -54,13 +57,21 @@ impl Workload for StepCounter {
         super::profile(24_576, 307, 3.94, 2.21, 21.7)
     }
 
+    fn memoizable(&self) -> bool {
+        // Stateless detector: `count_steps` is a pure function of the
+        // window's samples and the fixed tuning.
+        true
+    }
+
     fn compute(&mut self, data: &WindowData) -> AppOutput {
-        let samples: Vec<[f64; 3]> = data
-            .sensor(SensorId::S4)
-            .iter()
-            .filter_map(|s| s.value.as_triple())
-            .collect();
-        AppOutput::Steps(count_steps(&samples, &self.config))
+        let samples = &mut self.scratch.triples;
+        samples.clear();
+        samples.extend(
+            data.sensor(SensorId::S4)
+                .iter()
+                .filter_map(|s| s.value.as_triple()),
+        );
+        AppOutput::Steps(count_steps(samples, &self.config))
     }
 }
 

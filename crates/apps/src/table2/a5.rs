@@ -5,10 +5,14 @@
 //! NUL-separated `vw <pin> <value>` body per virtual-pin write — plus a
 //! camera-widget update carrying a downsampled thumbnail of the S10 frame.
 
+use std::fmt::Write as _;
+
 use iotse_core::workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};
 use iotse_sensors::signal::image::LOW_RES;
 use iotse_sensors::spec::SensorId;
 use iotse_sim::time::SimDuration;
+
+use crate::scratch::Scratch;
 
 /// Blynk `hardware` command byte.
 pub const CMD_HARDWARE: u8 = 20;
@@ -83,6 +87,7 @@ impl BlynkFrame {
 #[derive(Debug, Clone, Default)]
 pub struct Blynk {
     next_message_id: u16,
+    scratch: Scratch,
 }
 
 impl Blynk {
@@ -125,6 +130,13 @@ impl Workload for Blynk {
         super::profile(34_816, 512, 55.0, 12.0, 130.0)
     }
 
+    fn memoizable(&self) -> bool {
+        // Message ids live in frame headers only; the document is built
+        // from frame bodies and body-length-derived wire totals, both pure
+        // functions of the window's samples.
+        true
+    }
+
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let mut frames: Vec<BlynkFrame> = Vec::new();
         // Scalar dashboards: latest value of each scalar sensor.
@@ -134,26 +146,29 @@ impl Workload for Blynk {
                 frames.push(BlynkFrame::virtual_write(id, pin, &format!("{x:.2}")));
             }
         }
-        // Accelerometer widget: window-mean magnitude.
-        let mags: Vec<f64> = data
+        // Accelerometer widget: window-mean magnitude (streamed sum — no
+        // intermediate magnitude buffer).
+        let (mag_sum, mag_count) = data
             .sensor(SensorId::S4)
             .iter()
             .filter_map(|s| s.value.as_triple())
             .map(|[x, y, z]| (x * x + y * y + z * z).sqrt())
-            .collect();
-        if !mags.is_empty() {
-            let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+            .fold((0.0f64, 0usize), |(sum, n), m| (sum + m, n + 1));
+        if mag_count > 0 {
+            let mean = mag_sum / mag_count as f64;
             let id = self.next_id();
             frames.push(BlynkFrame::virtual_write(id, 3, &format!("{mean:.3}")));
         }
-        // Camera widget: 8×8-downsampled luma thumbnail of the S10 frame.
+        // Camera widget: 8×8-downsampled luma thumbnail of the S10 frame
+        // (borrowed straight from the sample — no 24 KiB copy).
         if let Some(rgb) = data
             .sensor(SensorId::S10)
             .last()
-            .and_then(|s| s.value.as_bytes().map(<[u8]>::to_vec))
+            .and_then(|s| s.value.as_bytes())
         {
             let (w, h) = LOW_RES;
-            let mut thumb = String::new();
+            let thumb = &mut self.scratch.text_a;
+            thumb.clear();
             for by in 0..8 {
                 for bx in 0..8 {
                     let x = bx * w / 8 + w / 16;
@@ -163,11 +178,11 @@ impl Workload for Blynk {
                         + u32::from(rgb[i + 1]) * 587
                         + u32::from(rgb[i + 2]) * 114)
                         / 1000;
-                    thumb.push_str(&format!("{luma:02x}"));
+                    let _ = write!(thumb, "{luma:02x}");
                 }
             }
             let id = self.next_id();
-            frames.push(BlynkFrame::virtual_write(id, 9, &thumb));
+            frames.push(BlynkFrame::virtual_write(id, 9, &self.scratch.text_a));
         }
         // Serialize the session and verify our own framing end-to-end.
         let mut wire_total = 0usize;

@@ -10,12 +10,14 @@ use iotse_sensors::spec::SensorId;
 use iotse_sim::time::SimDuration;
 
 use crate::kernels::sync::{ChunkConfig, ChunkStore};
+use crate::scratch::Scratch;
 
 /// The Dropbox-manager workload.
 #[derive(Debug, Clone, Default)]
 pub struct DropboxManager {
     store: ChunkStore,
     windows_synced: u64,
+    scratch: Scratch,
 }
 
 impl DropboxManager {
@@ -25,6 +27,7 @@ impl DropboxManager {
         DropboxManager {
             store: ChunkStore::new(ChunkConfig::default()),
             windows_synced: 0,
+            scratch: Scratch::new(),
         }
     }
 }
@@ -53,9 +56,14 @@ impl Workload for DropboxManager {
         super::profile(26_624, 410, 40.0, 9.0, 100.0)
     }
 
+    // NOT memoizable: the chunk store deduplicates against everything it
+    // has seen, and the sync counter names each report — both depend on
+    // window history, not just this window's samples.
+
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         // Serialize the window's recordings into the file bytes to sync.
-        let mut file = Vec::with_capacity(12_000);
+        let file = &mut self.scratch.bytes_a;
+        file.clear();
         for sensor in [SensorId::S8, SensorId::S9] {
             for s in data.sensor(sensor) {
                 if let Some(x) = s.value.as_scalar() {
@@ -64,7 +72,7 @@ impl Workload for DropboxManager {
                 }
             }
         }
-        let report = self.store.sync(&file);
+        let report = self.store.sync(file);
         self.windows_synced += 1;
         AppOutput::Document(format!(
             "sync#{}: uploaded={} deduplicated={} bytes={} store={}",

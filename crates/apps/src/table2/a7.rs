@@ -10,11 +10,13 @@ use iotse_sensors::spec::SensorId;
 use iotse_sim::time::SimDuration;
 
 use crate::kernels::stalta::{StaLta, StaLtaConfig};
+use crate::scratch::Scratch;
 
 /// The earthquake-detection workload.
 #[derive(Debug, Clone)]
 pub struct EarthquakeDetection {
     detector: StaLta,
+    scratch: Scratch,
 }
 
 impl EarthquakeDetection {
@@ -23,6 +25,7 @@ impl EarthquakeDetection {
     pub fn new() -> Self {
         EarthquakeDetection {
             detector: StaLta::new(StaLtaConfig::default()),
+            scratch: Scratch::new(),
         }
     }
 }
@@ -56,14 +59,20 @@ impl Workload for EarthquakeDetection {
         super::profile(16_794, 410, 25.0, 6.0, 60.0)
     }
 
+    // NOT memoizable: the STA/LTA detector carries charged averages across
+    // windows, so replaying a cached verdict would skip the state update
+    // and change later windows.
+
     fn compute(&mut self, data: &WindowData) -> AppOutput {
-        let samples: Vec<[f64; 3]> = data
-            .sensor(SensorId::S4)
-            .iter()
-            .filter_map(|s| s.value.as_triple())
-            .collect();
+        let samples = &mut self.scratch.triples;
+        samples.clear();
+        samples.extend(
+            data.sensor(SensorId::S4)
+                .iter()
+                .filter_map(|s| s.value.as_triple()),
+        );
         AppOutput::Quake {
-            detected: self.detector.process_window(&samples),
+            detected: self.detector.process_window(samples),
         }
     }
 }

@@ -10,11 +10,13 @@ use iotse_sensors::spec::SensorId;
 use iotse_sim::time::SimDuration;
 
 use crate::kernels::qrs::{QrsConfig, QrsDetector};
+use crate::scratch::Scratch;
 
 /// The heartbeat-irregularity workload.
 #[derive(Debug, Clone)]
 pub struct HeartbeatIrregularity {
     detector: QrsDetector,
+    scratch: Scratch,
 }
 
 impl HeartbeatIrregularity {
@@ -23,6 +25,7 @@ impl HeartbeatIrregularity {
     pub fn new() -> Self {
         HeartbeatIrregularity {
             detector: QrsDetector::new(QrsConfig::default()),
+            scratch: Scratch::new(),
         }
     }
 }
@@ -56,13 +59,19 @@ impl Workload for HeartbeatIrregularity {
         super::profile(22_528, 410, 108.8, 61.0, 320.0)
     }
 
+    // NOT memoizable: the QRS detector tracks adaptive thresholds and
+    // RR-interval history across windows, so replaying a cached summary
+    // would skip the state update and change later windows.
+
     fn compute(&mut self, data: &WindowData) -> AppOutput {
-        let samples: Vec<f64> = data
-            .sensor(SensorId::S6)
-            .iter()
-            .filter_map(|s| s.value.as_scalar())
-            .collect();
-        let summary = self.detector.process_window(&samples);
+        let samples = &mut self.scratch.scalars;
+        samples.clear();
+        samples.extend(
+            data.sensor(SensorId::S6)
+                .iter()
+                .filter_map(|s| s.value.as_scalar()),
+        );
+        let summary = self.detector.process_window(samples);
         AppOutput::Heartbeat {
             beats: summary.beats,
             irregular: summary.irregular,

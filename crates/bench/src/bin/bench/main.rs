@@ -5,11 +5,14 @@
 //!     [--out PATH] [--check PATH]
 //! ```
 //!
-//! Runs the four suite sections (executor, kernel, fleet, overhead), prints
-//! a table, and optionally writes the stable-schema JSON report (`--out`)
-//! or gates the deterministic counters against a committed baseline
-//! (`--check`, exact match required; wall time is advisory only — drift
-//! beyond ±30% prints a warning but never fails).
+//! Runs the five suite sections (executor, kernel, fleet, overhead,
+//! compute_cache), prints a table, and optionally writes the stable-schema
+//! JSON report (`--out`) or gates the deterministic counters against a
+//! committed baseline (`--check`, exact match required; wall time is
+//! advisory only — drift beyond ±30% prints a warning but never fails).
+//! The baseline must carry the per-kernel alloc entries for A4 and A9 —
+//! the scratch-engine kernels — so the zero-alloc steady state cannot be
+//! silently dropped from the gate.
 
 mod counting_alloc;
 
@@ -81,6 +84,14 @@ fn main() -> ExitCode {
             Ok(b) => b,
             Err(e) => return fail(&format!("parsing {path}: {e}")),
         };
+        // The scratch-engine kernels must stay under the exact-alloc gate:
+        // a baseline without them could regress PR 5's zero-alloc steady
+        // state without failing CI.
+        for id in ["kernel/A4/kernel", "kernel/A9/kernel"] {
+            if baseline.entry(id).is_none() {
+                return fail(&format!("{path} lacks the gated case {id}"));
+            }
+        }
         for w in report.wall_advisories(&baseline, WALL_TOLERANCE) {
             eprintln!("warning: {w}");
         }

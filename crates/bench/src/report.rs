@@ -1,13 +1,19 @@
-//! The bench suite's stable report schema (`BENCH_4.json`).
+//! The bench suite's stable report schema (`BENCH_5.json`).
 //!
 //! One [`BenchEntry`] per measured case: `(section, workload, scheme)`
-//! identifies the case; `wall_ns_*` carry the stopwatch timing; the four
+//! identifies the case; `wall_ns_*` carry the stopwatch timing; the six
 //! **deterministic cost counters** — `events`, `bus_bytes`, `allocs`,
-//! `alloc_bytes` — are bitwise-reproducible (simulation events and payload
-//! bytes are pure functions of the scenario; heap counts come from the
-//! `bench` binary's counting allocator over a single-threaded run) and are
-//! therefore CI-gateable with **zero** tolerance, while wall time is only
-//! advisory (shared runners make it noisy).
+//! `alloc_bytes`, `cache_hits`, `cache_misses` — are bitwise-reproducible
+//! (simulation events and payload bytes are pure functions of the scenario;
+//! heap counts come from the `bench` binary's counting allocator over a
+//! single-threaded run; cache counters read the compute-cache statistics
+//! after a from-clear run) and are therefore CI-gateable with **zero**
+//! tolerance, while wall time is only advisory (shared runners make it
+//! noisy).
+//!
+//! Schema history: v1 (`BENCH_4.json`) carried the first four counters;
+//! v2 adds `cache_hits`/`cache_misses`. The bump is compatible — v1 files
+//! parse with both cache counters defaulting to 0.
 //!
 //! Serialization is hand-rolled JSON over the in-tree [`Json`] kernel — the
 //! same std-only discipline as the Chrome-trace and Prometheus exporters —
@@ -17,7 +23,7 @@
 use iotse_apps::kernels::json::Json;
 
 /// Version tag written into every report; bump on schema changes.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One measured case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +52,13 @@ pub struct BenchEntry {
     /// Heap bytes requested in one steady-state run. Deterministic (0 when
     /// not measured; see [`BenchEntry::allocs`]).
     pub alloc_bytes: u64,
+    /// Compute-cache hits during one from-clear run. Deterministic (0 for
+    /// sections that do not reset the cache; only `compute_cache` cases
+    /// measure it). Absent in schema-1 files, parsed as 0.
+    pub cache_hits: u64,
+    /// Compute-cache misses during one from-clear run. Deterministic; see
+    /// [`BenchEntry::cache_hits`].
+    pub cache_misses: u64,
 }
 
 impl BenchEntry {
@@ -68,6 +81,8 @@ impl BenchEntry {
             ("bus_bytes", from_u64(self.bus_bytes)),
             ("allocs", from_u64(self.allocs)),
             ("alloc_bytes", from_u64(self.alloc_bytes)),
+            ("cache_hits", from_u64(self.cache_hits)),
+            ("cache_misses", from_u64(self.cache_misses)),
         ])
     }
 }
@@ -138,7 +153,7 @@ impl BenchReport {
         Ok(BenchReport { schema, entries })
     }
 
-    /// Exact-match diff of the four deterministic counters against
+    /// Exact-match diff of the six deterministic counters against
     /// `baseline`: any missing case, extra case, or counter mismatch
     /// produces one line. Empty means the gate passes.
     #[must_use]
@@ -154,6 +169,8 @@ impl BenchReport {
                         ("bus_bytes", base.bus_bytes, cur.bus_bytes),
                         ("allocs", base.allocs, cur.allocs),
                         ("alloc_bytes", base.alloc_bytes, cur.alloc_bytes),
+                        ("cache_hits", base.cache_hits, cur.cache_hits),
+                        ("cache_misses", base.cache_misses, cur.cache_misses),
                     ] {
                         if b != c {
                             diffs.push(format!("{id}: {field} {b} -> {c}"));
@@ -225,6 +242,15 @@ fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
     Ok(x as u64)
 }
 
+/// Like [`field_u64`], but a missing field reads as 0 — the compatibility
+/// rule for counters added after schema 1.
+fn field_u64_or_zero(doc: &Json, key: &str) -> Result<u64, String> {
+    if doc.get(key).is_none() {
+        return Ok(0);
+    }
+    field_u64(doc, key)
+}
+
 fn field_str(doc: &Json, key: &str) -> Result<String, String> {
     doc.get(key)
         .and_then(Json::as_str)
@@ -245,6 +271,8 @@ fn parse_entry(doc: &Json) -> Result<BenchEntry, String> {
         bus_bytes: field_u64(doc, "bus_bytes")?,
         allocs: field_u64(doc, "allocs")?,
         alloc_bytes: field_u64(doc, "alloc_bytes")?,
+        cache_hits: field_u64_or_zero(doc, "cache_hits")?,
+        cache_misses: field_u64_or_zero(doc, "cache_misses")?,
     })
 }
 
@@ -265,6 +293,8 @@ mod tests {
             bus_bytes: 2_400,
             allocs: 37,
             alloc_bytes: 8_192,
+            cache_hits: 5,
+            cache_misses: 3,
         }
     }
 
@@ -289,6 +319,21 @@ mod tests {
     }
 
     #[test]
+    fn schema_1_files_parse_with_zero_cache_counters() {
+        // A v1 baseline has no cache_hits/cache_misses keys; both default
+        // to 0 so old reports stay diffable against new builds.
+        let v1 = r#"{"schema": 1, "entries": [
+            {"section":"kernel","workload":"A4","scheme":"kernel",
+             "wall_ns_median":10,"wall_ns_min":9,"wall_ns_max":11,"iters":3,
+             "events":0,"bus_bytes":0,"allocs":42,"alloc_bytes":1024}
+        ]}"#;
+        let r = BenchReport::parse(v1).expect("v1 parses");
+        assert_eq!(r.schema, 1);
+        assert_eq!(r.entries[0].cache_hits, 0);
+        assert_eq!(r.entries[0].cache_misses, 0);
+    }
+
+    #[test]
     fn parse_rejects_malformed_input() {
         assert!(BenchReport::parse("not json").is_err());
         assert!(BenchReport::parse("{}").is_err());
@@ -305,10 +350,12 @@ mod tests {
         let mut moved = report();
         moved.entries[0].events += 1;
         moved.entries[1].alloc_bytes = 0;
+        moved.entries[1].cache_hits = 0;
         let diffs = moved.diff_counters(&base);
-        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        assert_eq!(diffs.len(), 3, "{diffs:?}");
         assert!(diffs[0].contains("events 400 -> 401"));
         assert!(diffs[1].contains("alloc_bytes 8192 -> 0"));
+        assert!(diffs[2].contains("cache_hits 5 -> 0"));
 
         // Wall-time drift alone does NOT trip the counter gate.
         let mut slow = report();

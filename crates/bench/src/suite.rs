@@ -1,6 +1,6 @@
 //! The deterministic microbenchmark suite behind the `bench` binary.
 //!
-//! Four sections, mirroring the questions the ROADMAP's "fast as the
+//! Five sections, mirroring the questions the ROADMAP's "fast as the
 //! hardware allows" goal keeps asking:
 //!
 //! * **executor** — full-scenario event throughput per scheme (the
@@ -11,6 +11,9 @@
 //! * **fleet** — scaling of the scenario fleet at 1/2/4/8 worker threads.
 //! * **overhead** — the cost of full observability (trace + metrics +
 //!   timelines) against a bare run of the same scenario.
+//! * **compute_cache** — the five-scheme fleet over the two heaviest
+//!   memoizable kernels (A4 JPEG, A9 DTW) from a cleared compute cache,
+//!   cache on vs off, with deterministic hit/miss counters.
 //!
 //! Every case reports wall time (advisory) plus the deterministic cost
 //! counters of [`crate::report`]. Heap counting needs the `bench` binary's
@@ -40,6 +43,9 @@ pub const SUITE_WINDOWS: u32 = 2;
 pub const FLEET_RUNGS: [usize; 4] = [1, 2, 4, 8];
 /// The app pair used by scenario cases (shares a sensor under BEAM).
 pub const SUITE_APPS: [AppId; 2] = [AppId::A2, AppId::A7];
+/// The app pair behind the `compute_cache` section: the two heaviest
+/// memoizable Table 2 kernels, where cross-scheme reuse pays most.
+pub const CACHE_APPS: [AppId; 2] = [AppId::A4, AppId::A9];
 
 /// The deterministic output of one case run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +54,11 @@ pub struct CaseOutput {
     pub events: u64,
     /// MCU→CPU payload bytes moved.
     pub bus_bytes: u64,
+    /// Compute-cache hits (nonzero only for `compute_cache` cases, which
+    /// run from a cleared cache).
+    pub cache_hits: u64,
+    /// Compute-cache misses (see [`CaseOutput::cache_hits`]).
+    pub cache_misses: u64,
 }
 
 impl CaseOutput {
@@ -55,13 +66,27 @@ impl CaseOutput {
     pub const NONE: CaseOutput = CaseOutput {
         events: 0,
         bus_bytes: 0,
+        cache_hits: 0,
+        cache_misses: 0,
     };
 
     fn of(result: &RunResult) -> CaseOutput {
         CaseOutput {
             events: result.events_executed,
             bus_bytes: result.bytes_transferred,
+            ..CaseOutput::NONE
         }
+    }
+
+    fn accumulate(results: &[RunResult]) -> CaseOutput {
+        results
+            .iter()
+            .map(CaseOutput::of)
+            .fold(CaseOutput::NONE, |acc, c| CaseOutput {
+                events: acc.events + c.events,
+                bus_bytes: acc.bus_bytes + c.bus_bytes,
+                ..acc
+            })
     }
 }
 
@@ -165,14 +190,7 @@ pub fn cases() -> Vec<Case> {
             count_allocs: jobs == 1, // Fleet(1) runs on the calling thread
             run: Box::new(move || {
                 let scenarios: Vec<Scenario> = Scheme::ALL.iter().map(|&s| scenario(s)).collect();
-                let results = Fleet::new(jobs).run(scenarios);
-                results
-                    .iter()
-                    .map(CaseOutput::of)
-                    .fold(CaseOutput::NONE, |acc, c| CaseOutput {
-                        events: acc.events + c.events,
-                        bus_bytes: acc.bus_bytes + c.bus_bytes,
-                    })
+                CaseOutput::accumulate(&Fleet::new(jobs).run(scenarios))
             }),
         });
     }
@@ -190,6 +208,39 @@ pub fn cases() -> Vec<Case> {
                     s = s.with_trace().with_metrics().with_timeline();
                 }
                 CaseOutput::of(&s.run())
+            }),
+        });
+    }
+
+    // (e) Cross-scheme memoization: the five-scheme fleet over the two
+    // heaviest memoizable kernels, always from a cleared compute cache so
+    // the hit/miss counters are a pure function of the scenario set.
+    for (label, cached) in [("on", true), ("off", false)] {
+        out.push(Case {
+            section: "compute_cache",
+            workload: "5-schemes-A4+A9".into(),
+            scheme: label.into(),
+            count_allocs: true,
+            run: Box::new(move || {
+                iotse_core::compute_cache::clear();
+                let scenarios: Vec<Scenario> = Scheme::ALL
+                    .iter()
+                    .map(|&s| {
+                        let s = Scenario::new(s, catalog::apps(&CACHE_APPS, SUITE_SEED))
+                            .windows(SUITE_WINDOWS)
+                            .seed(SUITE_SEED);
+                        if cached {
+                            s
+                        } else {
+                            s.without_compute_cache()
+                        }
+                    })
+                    .collect();
+                let mut output = CaseOutput::accumulate(&Fleet::new(1).run(scenarios));
+                let stats = iotse_core::compute_cache::stats();
+                output.cache_hits = stats.hits;
+                output.cache_misses = stats.misses;
+                output
             }),
         });
     }
@@ -255,6 +306,8 @@ pub fn run_suite(
             bus_bytes: warm.bus_bytes,
             allocs,
             alloc_bytes,
+            cache_hits: warm.cache_hits,
+            cache_misses: warm.cache_misses,
         });
     }
     report
@@ -267,7 +320,7 @@ pub fn render_table(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12}",
+        "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7}",
         "section",
         "workload",
         "scheme",
@@ -275,12 +328,14 @@ pub fn render_table(report: &BenchReport) -> String {
         "events",
         "bus_bytes",
         "allocs",
-        "alloc_bytes"
+        "alloc_bytes",
+        "hits",
+        "misses"
     );
     for e in &report.entries {
         let _ = writeln!(
             out,
-            "{:<10} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12}",
+            "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7}",
             e.section,
             e.workload,
             e.scheme,
@@ -288,7 +343,9 @@ pub fn render_table(report: &BenchReport) -> String {
             e.events,
             e.bus_bytes,
             e.allocs,
-            e.alloc_bytes
+            e.alloc_bytes,
+            e.cache_hits,
+            e.cache_misses
         );
     }
     out
@@ -318,6 +375,13 @@ mod tests {
             FLEET_RUNGS.len()
         );
         assert_eq!(cases.iter().filter(|c| c.section == "overhead").count(), 2);
+        assert_eq!(
+            cases
+                .iter()
+                .filter(|c| c.section == "compute_cache")
+                .count(),
+            2
+        );
         // Case ids are unique — the baseline gate matches on them.
         let mut ids: Vec<String> = cases
             .iter()
@@ -341,6 +405,24 @@ mod tests {
             let got: usize = input.samples.values().map(Vec::len).sum();
             assert_eq!(got, expected, "{id}: window input incomplete");
         }
+    }
+
+    #[test]
+    fn compute_cache_cases_agree_on_simulation_traffic() {
+        // Exact hit/miss counts are asserted in the end-to-end binary test
+        // (tests/bench_suite.rs), where the suite owns the process; here
+        // other tests share the global cache counters, so only the
+        // cache-independent outputs are checked.
+        let mut cached = cases()
+            .into_iter()
+            .filter(|c| c.section == "compute_cache")
+            .collect::<Vec<_>>();
+        assert_eq!(cached.len(), 2);
+        let on = (cached[0].run)();
+        let off = (cached[1].run)();
+        assert_eq!(on.events, off.events, "caching must not change events");
+        assert_eq!(on.bus_bytes, off.bus_bytes);
+        assert!(on.events > 0, "fleet produced no simulation traffic");
     }
 
     #[test]

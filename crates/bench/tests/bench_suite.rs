@@ -56,6 +56,26 @@ fn counters_are_identical_across_runs_and_prewarm_jobs() {
 }
 
 #[test]
+fn compute_cache_section_reports_exact_hit_rates() {
+    // In the suite binary the compute_cache cases own the whole process,
+    // so the from-clear hit/miss counters are exact: 2 windows x 2
+    // memoizable apps miss once under the first scheme and hit under the
+    // remaining four.
+    let report = run_suite("cache", "1");
+    let on = report
+        .entry("compute_cache/5-schemes-A4+A9/on")
+        .expect("cache-on case present");
+    assert_eq!(on.cache_misses, 4, "one miss per (app, window)");
+    assert_eq!(on.cache_hits, 16, "four reuses per (app, window)");
+    let off = report
+        .entry("compute_cache/5-schemes-A4+A9/off")
+        .expect("cache-off case present");
+    assert_eq!((off.cache_hits, off.cache_misses), (0, 0));
+    assert_eq!(on.events, off.events, "caching changed simulation events");
+    assert_eq!(on.bus_bytes, off.bus_bytes, "caching changed bus traffic");
+}
+
+#[test]
 fn check_mode_accepts_own_output_and_rejects_drift() {
     let path = out_path("gate");
     let status = Command::new(env!("CARGO_BIN_EXE_bench"))
@@ -84,5 +104,20 @@ fn check_mode_accepts_own_output_and_rejects_drift() {
         .status()
         .expect("bench binary launches");
     assert!(!status.success(), "doctored baseline must fail the gate");
+
+    // Drop a scratch-engine kernel case: the gate must refuse a baseline
+    // that no longer pins the A4/A9 alloc counters.
+    let mut pruned = BenchReport::parse(&text).expect("report parses");
+    pruned.entries.retain(|e| e.case_id() != "kernel/A4/kernel");
+    std::fs::write(&path, pruned.to_json()).expect("rewrite baseline");
+    let status = Command::new(env!("CARGO_BIN_EXE_bench"))
+        .args(["--quick", "--check"])
+        .arg(&path)
+        .status()
+        .expect("bench binary launches");
+    assert!(
+        !status.success(),
+        "baseline without kernel/A4/kernel must fail"
+    );
     let _ = std::fs::remove_file(&path);
 }

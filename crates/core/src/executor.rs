@@ -25,7 +25,7 @@ use crate::cpu::{CpuAccount, GapPolicy, SleepPolicy};
 use crate::mcu::McuAccount;
 use crate::result::{AppFlow, AppRunReport, RoutineDurations, RunResult, WindowOutcome};
 use crate::scheme::Scheme;
-use crate::workload::{WindowData, Workload};
+use crate::workload::{AppOutput, WindowData, Workload};
 
 /// Maximum Task-I retry attempts before a sample is recorded as lost.
 const MAX_READ_RETRIES: u32 = 10;
@@ -53,6 +53,7 @@ pub struct Scenario {
     record_timeline: bool,
     trace: bool,
     metrics: bool,
+    compute_cache: bool,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -81,6 +82,7 @@ impl Scenario {
             record_timeline: false,
             trace: false,
             metrics: false,
+            compute_cache: true,
         }
     }
 
@@ -146,6 +148,17 @@ impl Scenario {
         self
     }
 
+    /// Disables the cross-scheme compute cache (on by default), forcing
+    /// every kernel to run even when a memoized output exists. Results are
+    /// bitwise identical either way — the cache only skips recomputing pure
+    /// kernels (see [`crate::compute_cache`]) — so this exists for A/B
+    /// benchmarks and the determinism suite that proves that claim.
+    #[must_use]
+    pub fn without_compute_cache(mut self) -> Self {
+        self.compute_cache = false;
+        self
+    }
+
     /// Runs the scenario to completion.
     ///
     /// # Panics
@@ -165,6 +178,7 @@ impl Scenario {
             record_timeline,
             trace,
             metrics,
+            compute_cache,
         } = self;
         // An inconsistent calibration is a scenario-construction bug, part
         // of run()'s documented panic contract above.
@@ -249,6 +263,7 @@ impl Scenario {
                 TraceLog::disabled()
             },
             metrics: metrics.then(MetricsState::new),
+            compute_cache,
             assigned: 0.0,
             apps: Vec::new(),
             groups: Vec::new(),
@@ -294,12 +309,19 @@ impl Scenario {
         for (gi, g) in exec.groups.iter().enumerate() {
             let window_len = exec.apps[g.members[0]].window_len;
             let interval = window_len / u64::from(g.samples_per_window);
-            for w in 0..windows {
-                for i in 0..g.samples_per_window {
-                    let t = SimTime::ZERO + window_len * u64::from(w) + interval * u64::from(i);
-                    engine.schedule_call(t, "tick", tick_trampoline, gi as u64, u64::from(w));
-                }
-            }
+            // One batch push per group: same (gi, w, i) order as scheduling
+            // each tick individually, so sequence numbers — and therefore
+            // same-instant pop order — are unchanged.
+            engine.schedule_call_batch(
+                "tick",
+                tick_trampoline,
+                (0..windows).flat_map(|w| {
+                    (0..g.samples_per_window).map(move |i| {
+                        let t = SimTime::ZERO + window_len * u64::from(w) + interval * u64::from(i);
+                        (t, gi as u64, u64::from(w))
+                    })
+                }),
+            );
         }
 
         // The root span covers the whole run; every tick nests under it.
@@ -563,6 +585,8 @@ struct Exec {
     ledger: EnergyLedger,
     trace: TraceLog,
     metrics: Option<MetricsState>,
+    /// Routes memoizable kernels through [`crate::compute_cache`].
+    compute_cache: bool,
     /// Ledger energy (µJ) already attributed to spans; see [`Exec::settle`].
     assigned: f64,
     apps: Vec<AppRt>,
@@ -931,7 +955,7 @@ impl Exec {
         self.settle(span);
         self.trace.exit_span(span, mcu_done);
         pw.processing.app_compute += compute;
-        let output = self.apps[app].workload.compute(&pw.data);
+        let output = self.run_kernel(app, &pw.data);
         // …and only the result crosses to the CPU.
         let int_end = self.interrupt(mcu_done);
         pw.processing.interrupt += self.cal.cpu_interrupt_handling;
@@ -953,6 +977,26 @@ impl Exec {
             processing: pw.processing,
         };
         self.record_outcome(app, outcome);
+    }
+
+    /// Runs `app`'s kernel over `data`, answering from the cross-scheme
+    /// compute cache when the workload is pure and the cache is enabled.
+    /// The energy/timing books are untouched either way: compute energy is
+    /// charged from the profiled durations by the caller, never from the
+    /// kernel's host runtime.
+    fn run_kernel(&mut self, app: usize, data: &WindowData) -> AppOutput {
+        let enabled = self.compute_cache;
+        let workload = self.apps[app].workload.as_mut();
+        if enabled && workload.memoizable() {
+            crate::compute_cache::memoized_output(
+                workload.id(),
+                workload.memo_salt(),
+                crate::compute_cache::fingerprint(data),
+                || workload.compute(data),
+            )
+        } else {
+            workload.compute(data)
+        }
     }
 
     /// Removes and returns `window`'s pending state iff every expected
@@ -977,7 +1021,7 @@ impl Exec {
         completed_at: SimTime,
     ) {
         pw.processing.app_compute += compute;
-        let output = self.apps[app].workload.compute(&pw.data);
+        let output = self.run_kernel(app, &pw.data);
         let deadline = pw.data.end + self.apps[app].window_len;
         let outcome = WindowOutcome {
             window: pw.data.window,

@@ -16,6 +16,8 @@
 //!   sensor-friendliness gates for offloading.
 //! * [`workload`] — the trait the eleven Table II apps implement, with real
 //!   kernels returning typed [`workload::AppOutput`]s.
+//! * [`compute_cache`] — cross-scheme memoization of pure kernel outputs,
+//!   keyed by app id, instance salt and a 128-bit window fingerprint.
 //! * [`executor`] — [`executor::Scenario`]: runs apps × scheme × windows on
 //!   the discrete-event engine and yields a [`result::RunResult`].
 //! * [`runner`] — the scenario fleet runner: fans independent scenarios
@@ -42,6 +44,7 @@
 
 pub mod admission;
 pub mod calibration;
+pub mod compute_cache;
 pub mod cpu;
 pub mod executor;
 pub mod mcu;

@@ -270,6 +270,30 @@ pub trait Workload: Send {
     fn resources(&self) -> ResourceProfile;
     /// Runs the real application kernel over one window of samples.
     fn compute(&mut self, data: &WindowData) -> AppOutput;
+    /// `true` if [`Workload::compute`] is a pure function of its
+    /// `WindowData` — same samples, same [`AppOutput`], regardless of what
+    /// this instance computed before. Pure workloads are eligible for the
+    /// cross-scheme compute cache (see `iotse_core::compute_cache`): a fleet
+    /// running the same windows under five schemes reuses their outputs
+    /// instead of recomputing them.
+    ///
+    /// Defaults to `false` — the safe answer. Opt in only when purity is
+    /// provable; workloads with cross-window kernel state (A6's dedup
+    /// store, A7/A8's charged detectors) must never opt in, because a cache
+    /// hit would skip the state update and change later windows.
+    fn memoizable(&self) -> bool {
+        false
+    }
+    /// Distinguishes differently-configured instances of a memoizable
+    /// workload in the compute cache: the cache key is
+    /// `(id, memo_salt, window fingerprint)`, so two instances whose
+    /// outputs could differ on identical samples must return different
+    /// salts. Only A10 needs this (its enrolled database depends on its
+    /// constructor's seed and person count); workloads whose only
+    /// configuration is their compiled-in defaults keep the default `0`.
+    fn memo_salt(&self) -> u128 {
+        0
+    }
 }
 
 /// Wire bytes one window moves in Baseline (the Table II "Sensor Data"

@@ -2,12 +2,14 @@
 //!
 //! PR 1 made every figure bitwise-deterministic, but only dynamically
 //! (golden CSVs, determinism tests). This crate is the static half of that
-//! guarantee: nine rules that scan the workspace source for the patterns
+//! guarantee: ten rules that scan the workspace source for the patterns
 //! which historically break replayability (wall-clock reads, hash-ordered
 //! iteration, ambient state), erode the energy model (panicking library
 //! paths, silent casts), let the paper's Table I constants drift from
-//! the code (`specs/table1.toml` audit), or fragment the observability
-//! namespace (metric/span label naming).
+//! the code (`specs/table1.toml` audit), fragment the observability
+//! namespace (metric/span label naming), or reintroduce per-window heap
+//! allocations into the kernel hot paths (`Vec` use without a `// lint:`
+//! justification).
 //!
 //! Run it as `cargo run -p iotse-lint -- check` (add `--json` for machine
 //! output). Findings print as `file:line: RULE-ID message`; a finding can
@@ -146,6 +148,7 @@ pub fn run_check(root: &Path) -> Result<Vec<Finding>, ScanError> {
         rules::allow_inventory::check(file, &mut findings);
         rules::doc_coverage::check(file, &mut findings);
         rules::metric_names::check(file, &mut findings);
+        rules::kernel_alloc::check(file, &mut findings);
     }
     rules::table1::check(root, &files, &mut findings);
 

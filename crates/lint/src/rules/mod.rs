@@ -16,12 +16,14 @@
 //! | `IOTSE-A07` | every `#[allow]` needs a `// lint:` justification |
 //! | `IOTSE-P08` | public items in `core` need doc comments |
 //! | `IOTSE-M09` | metric/span labels must match `iotse_<crate>_<name>` |
+//! | `IOTSE-K10` | kernel `Vec` allocations need a `// lint:` justification |
 
 pub mod allow_inventory;
 pub mod ambient;
 pub mod casts;
 pub mod doc_coverage;
 pub mod hash_iter;
+pub mod kernel_alloc;
 pub mod metric_names;
 pub mod table1;
 pub mod unwrap_panic;
@@ -44,4 +46,5 @@ pub const ALL: &[(&str, &str)] = &[
     (allow_inventory::ID, allow_inventory::SUMMARY),
     (doc_coverage::ID, doc_coverage::SUMMARY),
     (metric_names::ID, metric_names::SUMMARY),
+    (kernel_alloc::ID, kernel_alloc::SUMMARY),
 ];

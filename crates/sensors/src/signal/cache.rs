@@ -38,7 +38,7 @@ struct CacheKey {
     /// The seed the artifact's RNG stream starts from.
     seed: u64,
     /// Fingerprint of every config field influencing generation.
-    config: u64,
+    config: u128,
 }
 
 // An ordered map keeps the shelf's layout independent of `RandomState`, so
@@ -54,9 +54,67 @@ fn shelf() -> &'static Mutex<Shelf> {
     CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-/// Folds a sequence of words into a config fingerprint (FNV-1a folded one
-/// `u64` at a time — the keys never leave the process, so the hash only has
-/// to separate inputs, and whole-word rounds cost an eighth of the former
+/// An incremental 128-bit fingerprint over a stream of `u64` words.
+///
+/// Two *independent* folds run side by side: the low half is the plain
+/// FNV-1a round from PR 4, the high half a rotate-multiply mix with its own
+/// constants (splitmix64's golden-ratio increment and odd multiplier). An
+/// input pair that collides in one fold has no structural reason to collide
+/// in the other, so accidental 128-bit collisions are a non-issue even when
+/// the fingerprint is used as a *correctness* key (the compute cache in
+/// `iotse-core`), not just a memo hint.
+///
+/// The incremental form exists so callers with large inputs — the compute
+/// cache folds every sample of a sensor window — can hash without first
+/// materialising a `&[u64]` slice.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fingerprint128 {
+    /// A fresh hasher at the two folds' offset bases.
+    #[must_use]
+    pub fn new() -> Self {
+        Fingerprint128 {
+            lo: 0xCBF2_9CE4_8422_2325,
+            hi: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Folds one word into both halves.
+    pub fn push(&mut self, word: u64) {
+        self.lo ^= word;
+        self.lo = self.lo.wrapping_mul(0x0000_0100_0000_01B3);
+        self.hi = (self.hi ^ word.rotate_left(31))
+            .rotate_left(27)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+
+    /// Folds a slice of words.
+    pub fn push_all(&mut self, words: &[u64]) {
+        for &w in words {
+            self.push(w);
+        }
+    }
+
+    /// The 128-bit digest (high fold in the upper half).
+    #[must_use]
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+impl Default for Fingerprint128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Folds a sequence of words into a 128-bit config fingerprint (see
+/// [`Fingerprint128`] — the keys never leave the process, so the hash only
+/// has to separate inputs, and whole-word rounds cost an eighth of a
 /// per-byte walk).
 ///
 /// Pass every field that influences generation; use [`f64::to_bits`] for
@@ -64,13 +122,10 @@ fn shelf() -> &'static Mutex<Shelf> {
 /// spurious *miss* is harmless, a spurious *hit* never happens because the
 /// inputs really are bit-identical.
 #[must_use]
-pub fn fingerprint(words: &[u64]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &w in words {
-        h ^= w;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+pub fn fingerprint(words: &[u64]) -> u128 {
+    let mut h = Fingerprint128::new();
+    h.push_all(words);
+    h.finish()
 }
 
 /// Returns the cached artifact for `(domain, seed, config)`, building it
@@ -82,7 +137,7 @@ pub fn fingerprint(words: &[u64]) -> u64 {
 pub fn memoized<T: Send + Sync + 'static>(
     domain: &'static str,
     seed: u64,
-    config: u64,
+    config: u128,
     build: impl FnOnce() -> T,
 ) -> Arc<T> {
     let key = CacheKey {
@@ -156,6 +211,54 @@ mod tests {
         assert_ne!(fingerprint(&[1, 2]), fingerprint(&[2, 1]));
         assert_ne!(fingerprint(&[1]), fingerprint(&[1, 0]));
         assert_eq!(fingerprint(&[7, 8]), fingerprint(&[7, 8]));
+    }
+
+    #[test]
+    fn incremental_matches_slice_fold() {
+        let words = [0u64, 1, u64::MAX, 0xDEAD_BEEF, 42];
+        let mut h = Fingerprint128::new();
+        for &w in &words {
+            h.push(w);
+        }
+        assert_eq!(h.finish(), fingerprint(&words));
+        let mut h2 = Fingerprint128::default();
+        h2.push_all(&words);
+        assert_eq!(h2.finish(), fingerprint(&words));
+    }
+
+    #[test]
+    fn both_halves_separate_inputs_independently() {
+        // The two folds use distinct constants; a difference in the input
+        // must show up in each half on its own, not just in the pair.
+        let a = fingerprint(&[3, 5, 7]);
+        let b = fingerprint(&[3, 5, 8]);
+        assert_ne!(a as u64, b as u64, "low fold failed to separate");
+        assert_ne!((a >> 64) as u64, (b >> 64) as u64, "high fold failed");
+    }
+
+    #[test]
+    fn perturbed_word_streams_never_collide() {
+        // Collision regression: single-bit perturbations of a base stream
+        // (the shape of one perturbed sensor window) must all land on
+        // distinct 128-bit digests, pairwise and against the base.
+        let base: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(seen.insert(fingerprint(&base)));
+        for word in 0..base.len() {
+            for bit in 0..64 {
+                let mut p = base.clone();
+                p[word] ^= 1u64 << bit;
+                assert!(
+                    seen.insert(fingerprint(&p)),
+                    "collision at word {word} bit {bit}"
+                );
+            }
+        }
+        // Length-extension-style perturbations separate too.
+        assert!(seen.insert(fingerprint(&base[..base.len() - 1])));
+        let mut longer = base.clone();
+        longer.push(0);
+        assert!(seen.insert(fingerprint(&longer)));
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl FingerTemplate {
         cache::memoized(
             "finger/template",
             seeds.derive(&format!("signal/finger/{person}")),
-            u64::from(person),
+            u128::from(person),
             || {
                 let mut rng: SimRng = seeds.stream(&format!("signal/finger/{person}"));
                 let minutiae = (0..MINUTIAE_PER_TEMPLATE)

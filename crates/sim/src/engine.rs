@@ -206,6 +206,39 @@ impl<S> Engine<S> {
         );
     }
 
+    /// Schedules a whole batch of plain-function events in one call,
+    /// reserving queue capacity up front (via
+    /// [`crate::queue::EventQueue::push_batch`]) so a dense warm-up schedule
+    /// — the executor schedules every tick of every window before the run
+    /// starts — never regrows the heap mid-loop. Firing order is identical
+    /// to calling [`Engine::schedule_call`] once per `(time, a, b)` tuple in
+    /// iteration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time is earlier than [`Engine::now`].
+    pub fn schedule_call_batch(
+        &mut self,
+        label: &'static str,
+        f: CallFn<S>,
+        calls: impl IntoIterator<Item = (SimTime, u64, u64)>,
+    ) {
+        let now = self.now;
+        self.queue.push_batch(calls.into_iter().map(|(time, a, b)| {
+            assert!(
+                time >= now,
+                "cannot schedule {label:?} at {time} which is before now ({now})"
+            );
+            (
+                time,
+                Event {
+                    label,
+                    body: EventBody::Call { f, a, b },
+                },
+            )
+        }));
+    }
+
     /// Asks the run loop to stop after the current handler returns. Pending
     /// events are kept, so a later `run*` call resumes where it left off.
     pub fn request_stop(&mut self) {
@@ -408,6 +441,39 @@ mod tests {
         engine.schedule_call(SimTime::ZERO, "tick", tick, 1, 0);
         engine.run(&mut count);
         assert_eq!(count, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn batched_calls_match_a_schedule_loop() {
+        fn push(log: &mut Vec<u64>, _: &mut Engine<Vec<u64>>, a: u64, _: u64) {
+            log.push(a);
+        }
+        let ticks = |_| (0..20u64).map(|i| (SimTime::from_millis(i % 5), i, 0));
+        let mut batched: Vec<u64> = Vec::new();
+        let mut engine = Engine::with_capacity(20);
+        engine.schedule_call_batch("tick", push, ticks(()));
+        engine.run(&mut batched);
+        let mut looped: Vec<u64> = Vec::new();
+        let mut reference = Engine::with_capacity(20);
+        for (t, a, b) in ticks(()) {
+            reference.schedule_call(t, "tick", push, a, b);
+        }
+        reference.run(&mut looped);
+        assert_eq!(batched, looped);
+        assert_eq!(engine.events_executed(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn batch_scheduling_in_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(SimTime::from_millis(5), |_, _| {});
+        engine.run(&mut ());
+        engine.schedule_call_batch(
+            "late",
+            |_, _, _, _| {},
+            [(SimTime::from_millis(1), 0u64, 0u64)],
+        );
     }
 
     #[test]

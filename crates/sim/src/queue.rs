@@ -98,6 +98,28 @@ impl<T> EventQueue<T> {
         seq
     }
 
+    /// Ensures space for at least `additional` more entries without
+    /// regrowing the heap.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Schedules every `(time, item)` pair of `batch`, reserving capacity up
+    /// front (from the iterator's lower size hint) so bulk scheduling does
+    /// not regrow the heap entry by entry. Sequence numbers are assigned in
+    /// iteration order — the result is indistinguishable from calling
+    /// [`EventQueue::push`] in a loop. Returns the number of entries pushed.
+    pub fn push_batch(&mut self, batch: impl IntoIterator<Item = (SimTime, T)>) -> usize {
+        let batch = batch.into_iter();
+        self.reserve(batch.size_hint().0);
+        let mut pushed = 0;
+        for (time, item) in batch {
+            self.push(time, item);
+            pushed += 1;
+        }
+        pushed
+    }
+
     /// Removes and returns the earliest entry (FIFO among ties), or `None`
     /// if the queue is empty.
     pub fn pop(&mut self) -> Option<Scheduled<T>> {
@@ -185,6 +207,56 @@ mod tests {
         q.push(SimTime::from_millis(7), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn batch_push_preserves_seq_order() {
+        // A batch push must be indistinguishable from a push loop: ties
+        // stay FIFO in iteration order, and interleaving with singleton
+        // pushes keeps one monotone sequence.
+        let t = SimTime::from_millis(3);
+        let mut batched = EventQueue::new();
+        batched.push(t, -1);
+        let pushed = batched.push_batch((0..50).map(|i| {
+            let time = if i % 2 == 0 {
+                t
+            } else {
+                SimTime::from_millis(1)
+            };
+            (time, i)
+        }));
+        assert_eq!(pushed, 50);
+        batched.push(SimTime::from_millis(1), 99);
+
+        let mut looped = EventQueue::new();
+        looped.push(t, -1);
+        for i in 0..50 {
+            let time = if i % 2 == 0 {
+                t
+            } else {
+                SimTime::from_millis(1)
+            };
+            looped.push(time, i);
+        }
+        looped.push(SimTime::from_millis(1), 99);
+
+        assert_eq!(batched.scheduled_total(), looped.scheduled_total());
+        let drain = |mut q: EventQueue<i32>| -> Vec<(u64, i32)> {
+            std::iter::from_fn(|| q.pop().map(|s| (s.seq, s.item))).collect()
+        };
+        assert_eq!(drain(batched), drain(looped));
+    }
+
+    #[test]
+    fn batch_push_reserves_capacity() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.reserve(8);
+        // An exact-size iterator's lower bound covers the whole batch, so
+        // the push loop cannot regrow what reserve() set aside.
+        let n = q.push_batch((0..8u32).map(|i| (SimTime::from_nanos(u64::from(i)), i)));
+        assert_eq!(n, 8);
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.pop().map(|s| s.item), Some(0));
     }
 
     #[test]

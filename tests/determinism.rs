@@ -92,6 +92,40 @@ fn different_seeds_are_not_conflated() {
 }
 
 #[test]
+fn compute_cache_on_and_off_agree_bitwise_at_every_jobs_level() {
+    // The cross-scheme compute cache may only *skip* recomputing pure
+    // kernels — a full-result comparison (ledger, outputs, traces spans,
+    // counters) between cache-off and cache-on fleets must hold for every
+    // scheme and every worker count. The app set mixes memoizable (A1, A4,
+    // A10) and stateful non-memoizable (A8) workloads.
+    let apps = [AppId::A1, AppId::A4, AppId::A8, AppId::A10];
+    let fleet = |cache: bool| -> Vec<Scenario> {
+        Scheme::ALL
+            .iter()
+            .map(|&scheme| {
+                let s = scenario(scheme, &apps, 42);
+                if cache {
+                    s
+                } else {
+                    s.without_compute_cache()
+                }
+            })
+            .collect()
+    };
+    let off = run_fleet(fleet(false), 1);
+    for jobs in [1, 4, 8] {
+        let on = run_fleet(fleet(true), jobs);
+        assert_eq!(off.len(), on.len());
+        for (scheme, (o, n)) in Scheme::ALL.iter().zip(off.iter().zip(&on)) {
+            assert_eq!(
+                o, n,
+                "{scheme}: cache-on differs from cache-off at --jobs {jobs}"
+            );
+        }
+    }
+}
+
+#[test]
 fn submission_order_is_preserved_under_load() {
     // More scenarios than workers, deliberately uneven costs: results must
     // come back in submission order, not completion order.
