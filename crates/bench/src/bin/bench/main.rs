@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! cargo run --release -p iotse-bench --bin bench -- [--quick] [--jobs N]
-//!     [--out PATH] [--check PATH]
+//!     [--section NAME] [--out PATH] [--check PATH]
 //! ```
 //!
-//! Runs the five suite sections (executor, kernel, fleet, overhead,
-//! compute_cache), prints a table, and optionally writes the stable-schema
-//! JSON report (`--out`) or gates the deterministic counters against a
-//! committed baseline (`--check`, exact match required; wall time is
-//! advisory only — drift beyond ±30% prints a warning but never fails).
-//! The baseline must carry the per-kernel alloc entries for A4 and A9 —
-//! the scratch-engine kernels — so the zero-alloc steady state cannot be
+//! Runs the six suite sections (executor, kernel, fleet, overhead,
+//! compute_cache, robustness), prints a table, and optionally writes the
+//! stable-schema JSON report (`--out`) or gates the deterministic counters
+//! against a committed baseline (`--check`, exact match required; wall
+//! time is advisory only — drift beyond ±30% prints a warning but never
+//! fails). `--section` restricts the run (and the gate) to one section —
+//! the CI robustness job uses `--section robustness`. A full (unfiltered)
+//! baseline must carry the per-kernel alloc entries for A4 and A9 — the
+//! scratch-engine kernels — so the zero-alloc steady state cannot be
 //! silently dropped from the gate.
 
 mod counting_alloc;
@@ -30,7 +32,7 @@ const WALL_TOLERANCE: f64 = 0.30;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("bench: {msg}");
-    eprintln!("usage: bench [--quick] [--jobs N] [--out PATH] [--check PATH]");
+    eprintln!("usage: bench [--quick] [--jobs N] [--section NAME] [--out PATH] [--check PATH]");
     ExitCode::FAILURE
 }
 
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
     let mut jobs = 1usize;
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut section: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +59,10 @@ fn main() -> ExitCode {
                 Some(p) => check_path = Some(p),
                 None => return fail("--check wants a path"),
             },
+            "--section" => match args.next() {
+                Some(s) => section = Some(s),
+                None => return fail("--section wants a section name"),
+            },
             other => return fail(&format!("unknown argument `{other}`")),
         }
     }
@@ -65,7 +72,8 @@ fn main() -> ExitCode {
     } else {
         SampleBudget::default()
     };
-    let report = suite::run_suite(limits, jobs, &counting_alloc::snapshot);
+    let report =
+        suite::run_suite_filtered(limits, jobs, &counting_alloc::snapshot, section.as_deref());
     print!("{}", suite::render_table(&report));
 
     if let Some(path) = out_path {
@@ -80,16 +88,24 @@ fn main() -> ExitCode {
             Ok(t) => t,
             Err(e) => return fail(&format!("reading {path}: {e}")),
         };
-        let baseline = match BenchReport::parse(&text) {
+        let mut baseline = match BenchReport::parse(&text) {
             Ok(b) => b,
             Err(e) => return fail(&format!("parsing {path}: {e}")),
         };
-        // The scratch-engine kernels must stay under the exact-alloc gate:
-        // a baseline without them could regress PR 5's zero-alloc steady
-        // state without failing CI.
-        for id in ["kernel/A4/kernel", "kernel/A9/kernel"] {
-            if baseline.entry(id).is_none() {
-                return fail(&format!("{path} lacks the gated case {id}"));
+        // A filtered run gates against the baseline filtered the same way.
+        if let Some(s) = &section {
+            baseline.entries.retain(|e| e.section == *s);
+            if baseline.entries.is_empty() {
+                return fail(&format!("{path} has no cases in section `{s}`"));
+            }
+        } else {
+            // The scratch-engine kernels must stay under the exact-alloc
+            // gate: a baseline without them could regress PR 5's
+            // zero-alloc steady state without failing CI.
+            for id in ["kernel/A4/kernel", "kernel/A9/kernel"] {
+                if baseline.entry(id).is_none() {
+                    return fail(&format!("{path} lacks the gated case {id}"));
+                }
             }
         }
         for w in report.wall_advisories(&baseline, WALL_TOLERANCE) {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! inspect [--scheme S] [--apps A2,A5] [--windows N] [--seed N] [--jobs N]
-//!         [--format chrome|folded|table|metrics|timeline]
+//!         [--faults demo] [--format chrome|folded|table|metrics|timeline]
 //! ```
 //!
 //! Output goes to stdout and is byte-identical across repeated runs and
@@ -17,9 +17,10 @@ use iotse_bench::config::{parse_app_list, parse_scheme};
 use iotse_bench::inspect::{inspect, InspectFormat, InspectRequest};
 
 const USAGE: &str = "usage: inspect [--scheme baseline|batching|com|beam|bcom] [--apps A2,A5]
-               [--windows N] [--seed N] [--jobs N]
+               [--windows N] [--seed N] [--jobs N] [--faults demo]
                [--format chrome|folded|table|metrics|timeline]
-defaults: --scheme batching --apps A2 --windows 4 --seed 42 --jobs 1 --format timeline";
+defaults: --scheme batching --apps A2 --windows 4 --seed 42 --jobs 1 --format timeline
+--faults demo injects the committed demo fault scripts (every fault kind)";
 
 fn main() -> ExitCode {
     let mut req = InspectRequest::default();
@@ -48,6 +49,11 @@ fn main() -> ExitCode {
             "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(j) if j > 0 => req.jobs = j,
                 _ => return fail("--jobs needs a positive integer"),
+            },
+            "--faults" => match args.next().as_deref() {
+                Some("demo") => req.faults = iotse_core::robustness::demo_scripts(),
+                Some(other) => return fail(&format!("unknown fault set '{other}' (demo)")),
+                None => return fail("--faults needs a set name (demo)"),
             },
             "--format" => match args.next().as_deref().map(InspectFormat::parse) {
                 Some(Ok(f)) => format = f,

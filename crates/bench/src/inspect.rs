@@ -24,6 +24,7 @@ use std::fmt::Write as _;
 use iotse_core::runner::Fleet;
 use iotse_core::{AppId, Calibration, RunResult, Scenario, Scheme};
 use iotse_energy::flame;
+use iotse_sim::faults::FaultScript;
 use iotse_sim::time::SimTime;
 
 use crate::export;
@@ -86,7 +87,7 @@ impl InspectFormat {
 }
 
 /// One fully-instrumented scenario to run and render.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InspectRequest {
     /// The execution scheme.
     pub scheme: Scheme,
@@ -98,10 +99,12 @@ pub struct InspectRequest {
     pub seed: u64,
     /// Fleet worker threads (output is identical at any level).
     pub jobs: usize,
+    /// Fault scripts to inject (empty by default — a fair-weather run).
+    pub faults: Vec<FaultScript>,
 }
 
 impl Default for InspectRequest {
-    /// Batching × step counter, 4 windows, seed 42, one worker.
+    /// Batching × step counter, 4 windows, seed 42, one worker, no faults.
     fn default() -> Self {
         InspectRequest {
             scheme: Scheme::Batching,
@@ -109,6 +112,7 @@ impl Default for InspectRequest {
             windows: 4,
             seed: 42,
             jobs: 1,
+            faults: Vec::new(),
         }
     }
 }
@@ -117,12 +121,15 @@ impl Default for InspectRequest {
 /// recording, through a [`Fleet`] of `jobs` workers.
 #[must_use]
 pub fn run(req: &InspectRequest) -> RunResult {
-    let scenario = Scenario::new(req.scheme, iotse_apps::catalog::apps(&req.apps, req.seed))
+    let mut scenario = Scenario::new(req.scheme, iotse_apps::catalog::apps(&req.apps, req.seed))
         .windows(req.windows)
         .seed(req.seed)
         .with_trace()
         .with_timeline()
         .with_metrics();
+    if !req.faults.is_empty() {
+        scenario = scenario.faults(req.faults.clone());
+    }
     let mut results = Fleet::new(req.jobs).run(vec![scenario]);
     // iotse-lint: allow(IOTSE-E04) the fleet returns one result per scenario
     results.pop().expect("one scenario in, one result out")

@@ -1,19 +1,21 @@
 //! The bench suite's stable report schema (`BENCH_5.json`).
 //!
 //! One [`BenchEntry`] per measured case: `(section, workload, scheme)`
-//! identifies the case; `wall_ns_*` carry the stopwatch timing; the six
+//! identifies the case; `wall_ns_*` carry the stopwatch timing; the nine
 //! **deterministic cost counters** — `events`, `bus_bytes`, `allocs`,
-//! `alloc_bytes`, `cache_hits`, `cache_misses` — are bitwise-reproducible
+//! `alloc_bytes`, `cache_hits`, `cache_misses`, `faults_injected`,
+//! `samples_dropped`, `bytes_corrupted` — are bitwise-reproducible
 //! (simulation events and payload bytes are pure functions of the scenario;
 //! heap counts come from the `bench` binary's counting allocator over a
 //! single-threaded run; cache counters read the compute-cache statistics
-//! after a from-clear run) and are therefore CI-gateable with **zero**
-//! tolerance, while wall time is only advisory (shared runners make it
-//! noisy).
+//! after a from-clear run; fault counters replay the seeded fault plan)
+//! and are therefore CI-gateable with **zero** tolerance, while wall time
+//! is only advisory (shared runners make it noisy).
 //!
 //! Schema history: v1 (`BENCH_4.json`) carried the first four counters;
-//! v2 adds `cache_hits`/`cache_misses`. The bump is compatible — v1 files
-//! parse with both cache counters defaulting to 0.
+//! v2 added `cache_hits`/`cache_misses`; v3 adds the three fault counters
+//! with the `robustness` section. Bumps are compatible — counters missing
+//! from an older file parse as 0.
 //!
 //! Serialization is hand-rolled JSON over the in-tree [`Json`] kernel — the
 //! same std-only discipline as the Chrome-trace and Prometheus exporters —
@@ -23,7 +25,7 @@
 use iotse_apps::kernels::json::Json;
 
 /// Version tag written into every report; bump on schema changes.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One measured case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +61,16 @@ pub struct BenchEntry {
     /// Compute-cache misses during one from-clear run. Deterministic; see
     /// [`BenchEntry::cache_hits`].
     pub cache_misses: u64,
+    /// Fault firings during one run (0 outside the `robustness` section).
+    /// Deterministic: the fault plan replays from seeded streams. Absent
+    /// in pre-v3 files, parsed as 0.
+    pub faults_injected: u64,
+    /// Sampling events lost to dropout in one run. Deterministic; see
+    /// [`BenchEntry::faults_injected`].
+    pub samples_dropped: u64,
+    /// Payload bytes corrupted on the wire in one run. Deterministic; see
+    /// [`BenchEntry::faults_injected`].
+    pub bytes_corrupted: u64,
 }
 
 impl BenchEntry {
@@ -83,6 +95,9 @@ impl BenchEntry {
             ("alloc_bytes", from_u64(self.alloc_bytes)),
             ("cache_hits", from_u64(self.cache_hits)),
             ("cache_misses", from_u64(self.cache_misses)),
+            ("faults_injected", from_u64(self.faults_injected)),
+            ("samples_dropped", from_u64(self.samples_dropped)),
+            ("bytes_corrupted", from_u64(self.bytes_corrupted)),
         ])
     }
 }
@@ -153,7 +168,7 @@ impl BenchReport {
         Ok(BenchReport { schema, entries })
     }
 
-    /// Exact-match diff of the six deterministic counters against
+    /// Exact-match diff of the nine deterministic counters against
     /// `baseline`: any missing case, extra case, or counter mismatch
     /// produces one line. Empty means the gate passes.
     #[must_use]
@@ -171,6 +186,9 @@ impl BenchReport {
                         ("alloc_bytes", base.alloc_bytes, cur.alloc_bytes),
                         ("cache_hits", base.cache_hits, cur.cache_hits),
                         ("cache_misses", base.cache_misses, cur.cache_misses),
+                        ("faults_injected", base.faults_injected, cur.faults_injected),
+                        ("samples_dropped", base.samples_dropped, cur.samples_dropped),
+                        ("bytes_corrupted", base.bytes_corrupted, cur.bytes_corrupted),
                     ] {
                         if b != c {
                             diffs.push(format!("{id}: {field} {b} -> {c}"));
@@ -273,6 +291,9 @@ fn parse_entry(doc: &Json) -> Result<BenchEntry, String> {
         alloc_bytes: field_u64(doc, "alloc_bytes")?,
         cache_hits: field_u64_or_zero(doc, "cache_hits")?,
         cache_misses: field_u64_or_zero(doc, "cache_misses")?,
+        faults_injected: field_u64_or_zero(doc, "faults_injected")?,
+        samples_dropped: field_u64_or_zero(doc, "samples_dropped")?,
+        bytes_corrupted: field_u64_or_zero(doc, "bytes_corrupted")?,
     })
 }
 
@@ -295,6 +316,9 @@ mod tests {
             alloc_bytes: 8_192,
             cache_hits: 5,
             cache_misses: 3,
+            faults_injected: 17,
+            samples_dropped: 4,
+            bytes_corrupted: 96,
         }
     }
 
@@ -334,6 +358,23 @@ mod tests {
     }
 
     #[test]
+    fn pre_v3_files_parse_with_zero_fault_counters() {
+        // A v2 baseline predates the robustness section; all three fault
+        // counters default to 0 so it stays diffable against v3 builds.
+        let v2 = r#"{"schema": 2, "entries": [
+            {"section":"executor","workload":"A2+A7","scheme":"baseline",
+             "wall_ns_median":10,"wall_ns_min":9,"wall_ns_max":11,"iters":3,
+             "events":4000,"bus_bytes":48000,"allocs":0,"alloc_bytes":0,
+             "cache_hits":0,"cache_misses":0}
+        ]}"#;
+        let r = BenchReport::parse(v2).expect("v2 parses");
+        assert_eq!(r.schema, 2);
+        assert_eq!(r.entries[0].faults_injected, 0);
+        assert_eq!(r.entries[0].samples_dropped, 0);
+        assert_eq!(r.entries[0].bytes_corrupted, 0);
+    }
+
+    #[test]
     fn parse_rejects_malformed_input() {
         assert!(BenchReport::parse("not json").is_err());
         assert!(BenchReport::parse("{}").is_err());
@@ -351,11 +392,13 @@ mod tests {
         moved.entries[0].events += 1;
         moved.entries[1].alloc_bytes = 0;
         moved.entries[1].cache_hits = 0;
+        moved.entries[1].faults_injected = 18;
         let diffs = moved.diff_counters(&base);
-        assert_eq!(diffs.len(), 3, "{diffs:?}");
+        assert_eq!(diffs.len(), 4, "{diffs:?}");
         assert!(diffs[0].contains("events 400 -> 401"));
         assert!(diffs[1].contains("alloc_bytes 8192 -> 0"));
         assert!(diffs[2].contains("cache_hits 5 -> 0"));
+        assert!(diffs[3].contains("faults_injected 17 -> 18"));
 
         // Wall-time drift alone does NOT trip the counter gate.
         let mut slow = report();

@@ -1,6 +1,6 @@
 //! The deterministic microbenchmark suite behind the `bench` binary.
 //!
-//! Five sections, mirroring the questions the ROADMAP's "fast as the
+//! Six sections, mirroring the questions the ROADMAP's "fast as the
 //! hardware allows" goal keeps asking:
 //!
 //! * **executor** — full-scenario event throughput per scheme (the
@@ -14,6 +14,9 @@
 //! * **compute_cache** — the five-scheme fleet over the two heaviest
 //!   memoizable kernels (A4 JPEG, A9 DTW) from a cleared compute cache,
 //!   cache on vs off, with deterministic hit/miss counters.
+//! * **robustness** — the suite scenario under the committed demo fault
+//!   scripts, per scheme, with exact-gated fault counters
+//!   (`faults_injected`, `samples_dropped`, `bytes_corrupted`).
 //!
 //! Every case reports wall time (advisory) plus the deterministic cost
 //! counters of [`crate::report`]. Heap counting needs the `bench` binary's
@@ -59,6 +62,12 @@ pub struct CaseOutput {
     pub cache_hits: u64,
     /// Compute-cache misses (see [`CaseOutput::cache_hits`]).
     pub cache_misses: u64,
+    /// Fault firings (nonzero only for `robustness` cases).
+    pub faults_injected: u64,
+    /// Sampling events lost to dropout (see [`CaseOutput::faults_injected`]).
+    pub samples_dropped: u64,
+    /// Wire bytes corrupted (see [`CaseOutput::faults_injected`]).
+    pub bytes_corrupted: u64,
 }
 
 impl CaseOutput {
@@ -68,12 +77,18 @@ impl CaseOutput {
         bus_bytes: 0,
         cache_hits: 0,
         cache_misses: 0,
+        faults_injected: 0,
+        samples_dropped: 0,
+        bytes_corrupted: 0,
     };
 
     fn of(result: &RunResult) -> CaseOutput {
         CaseOutput {
             events: result.events_executed,
             bus_bytes: result.bytes_transferred,
+            faults_injected: result.faults.faults_injected,
+            samples_dropped: result.faults.samples_dropped,
+            bytes_corrupted: result.faults.bytes_corrupted,
             ..CaseOutput::NONE
         }
     }
@@ -85,6 +100,9 @@ impl CaseOutput {
             .fold(CaseOutput::NONE, |acc, c| CaseOutput {
                 events: acc.events + c.events,
                 bus_bytes: acc.bus_bytes + c.bus_bytes,
+                faults_injected: acc.faults_injected + c.faults_injected,
+                samples_dropped: acc.samples_dropped + c.samples_dropped,
+                bytes_corrupted: acc.bytes_corrupted + c.bytes_corrupted,
                 ..acc
             })
     }
@@ -92,7 +110,8 @@ impl CaseOutput {
 
 /// One benchmarkable case.
 pub struct Case {
-    /// Suite section (`executor`, `kernel`, `fleet`, `overhead`).
+    /// Suite section (`executor`, `kernel`, `fleet`, `overhead`,
+    /// `compute_cache`, `robustness`).
     pub section: &'static str,
     /// Workload label.
     pub workload: String,
@@ -245,6 +264,25 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
+    // (f) Robustness: the suite scenario per scheme under the committed
+    // demo fault scripts (every fault kind fires). The fault counters are
+    // a pure replay of the seeded plan, so the baseline gates them exactly.
+    for scheme in Scheme::ALL {
+        out.push(Case {
+            section: "robustness",
+            workload: "A2+A7@demo-faults".into(),
+            scheme: scheme.to_string().to_ascii_lowercase(),
+            count_allocs: true,
+            run: Box::new(move || {
+                CaseOutput::of(
+                    &scenario(scheme)
+                        .faults(iotse_core::robustness::demo_scripts())
+                        .run(),
+                )
+            }),
+        });
+    }
+
     out
 }
 
@@ -273,12 +311,33 @@ pub fn run_suite(
     prewarm_jobs: usize,
     probe: &dyn Fn() -> (u64, u64),
 ) -> BenchReport {
+    run_suite_filtered(limits, prewarm_jobs, probe, None)
+}
+
+/// Like [`run_suite`], but restricted to one suite section when `section`
+/// is `Some` (the binary's `--section` flag). The filtered report carries
+/// only that section's entries; gating diffs the committed baseline
+/// filtered the same way.
+///
+/// # Panics
+///
+/// Panics under the same counter-drift condition as [`run_suite`].
+#[must_use]
+pub fn run_suite_filtered(
+    limits: SampleBudget,
+    prewarm_jobs: usize,
+    probe: &dyn Fn() -> (u64, u64),
+    section: Option<&str>,
+) -> BenchReport {
     // Parallel cache warm-up (counter-neutral, see above).
     let scenarios: Vec<Scenario> = Scheme::ALL.iter().map(|&s| scenario(s)).collect();
     let _ = Fleet::new(prewarm_jobs.max(1)).run(scenarios);
 
     let mut report = BenchReport::new();
-    for mut case in cases() {
+    for mut case in cases()
+        .into_iter()
+        .filter(|c| section.is_none_or(|s| c.section == s))
+    {
         let warm = (case.run)();
         let (allocs, alloc_bytes) = if case.count_allocs {
             let (a0, b0) = probe();
@@ -308,6 +367,9 @@ pub fn run_suite(
             alloc_bytes,
             cache_hits: warm.cache_hits,
             cache_misses: warm.cache_misses,
+            faults_injected: warm.faults_injected,
+            samples_dropped: warm.samples_dropped,
+            bytes_corrupted: warm.bytes_corrupted,
         });
     }
     report
@@ -320,7 +382,7 @@ pub fn render_table(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7}",
+        "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9}",
         "section",
         "workload",
         "scheme",
@@ -330,12 +392,15 @@ pub fn render_table(report: &BenchReport) -> String {
         "allocs",
         "alloc_bytes",
         "hits",
-        "misses"
+        "misses",
+        "faults",
+        "dropped",
+        "corrupted"
     );
     for e in &report.entries {
         let _ = writeln!(
             out,
-            "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7}",
+            "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9}",
             e.section,
             e.workload,
             e.scheme,
@@ -345,7 +410,10 @@ pub fn render_table(report: &BenchReport) -> String {
             e.allocs,
             e.alloc_bytes,
             e.cache_hits,
-            e.cache_misses
+            e.cache_misses,
+            e.faults_injected,
+            e.samples_dropped,
+            e.bytes_corrupted
         );
     }
     out
@@ -381,6 +449,10 @@ mod tests {
                 .filter(|c| c.section == "compute_cache")
                 .count(),
             2
+        );
+        assert_eq!(
+            cases.iter().filter(|c| c.section == "robustness").count(),
+            Scheme::ALL.len()
         );
         // Case ids are unique — the baseline gate matches on them.
         let mut ids: Vec<String> = cases
@@ -423,6 +495,29 @@ mod tests {
         assert_eq!(on.events, off.events, "caching must not change events");
         assert_eq!(on.bus_bytes, off.bus_bytes);
         assert!(on.events > 0, "fleet produced no simulation traffic");
+    }
+
+    #[test]
+    fn robustness_cases_inject_and_replay_exactly() {
+        let mut faulted: Vec<_> = cases()
+            .into_iter()
+            .filter(|c| c.section == "robustness")
+            .collect();
+        assert_eq!(faulted.len(), Scheme::ALL.len());
+        let out = (faulted[0].run)();
+        assert!(out.faults_injected > 0, "no faults fired");
+        assert!(out.samples_dropped > 0, "dropout never fired");
+        assert!(out.bytes_corrupted > 0, "corruption never fired");
+        // The seeded plan replays bitwise.
+        assert_eq!((faulted[0].run)(), out);
+    }
+
+    #[test]
+    fn section_filter_restricts_the_report() {
+        let probe = || (0, 0);
+        let r = run_suite_filtered(SampleBudget::quick(), 1, &probe, Some("robustness"));
+        assert!(!r.entries.is_empty());
+        assert!(r.entries.iter().all(|e| e.section == "robustness"));
     }
 
     #[test]

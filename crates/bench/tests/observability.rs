@@ -48,6 +48,7 @@ fn step_counter() -> InspectRequest {
         windows: 2,
         seed: 42,
         jobs: 4,
+        faults: Vec::new(),
     }
 }
 
@@ -60,6 +61,7 @@ fn keyword_spotting() -> InspectRequest {
         windows: 2,
         seed: 42,
         jobs: 4,
+        faults: Vec::new(),
     }
 }
 

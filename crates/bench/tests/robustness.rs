@@ -1,0 +1,95 @@
+//! Golden-file tests for the robustness report and faulted inspect output.
+//!
+//! The demo fault storm ([`iotse_core::robustness::demo_scripts`]) runs the
+//! bench workload pair (A2 + A7, two windows, seed 42) under every scheme
+//! and grades the demo expectations; the text report, the CSV export, and a
+//! faulted `inspect --format table` rendering are pinned byte for byte.
+//! The report is built at four fleet workers so a nondeterminism
+//! regression in the fault layer shows up as a golden mismatch.
+//!
+//! To update after an intentional model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p iotse-bench --test robustness
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use iotse_bench::inspect::{inspect, InspectFormat, InspectRequest};
+use iotse_core::robustness::{self, demo_expectations, demo_scripts};
+use iotse_core::AppId;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with UPDATE_GOLDEN=1)", name));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn demo_report() -> robustness::RobustnessReport {
+    robustness::evaluate(
+        &|| iotse_apps::catalog::apps(&[AppId::A2, AppId::A7], 42),
+        2,
+        42,
+        &demo_scripts(),
+        &demo_expectations(),
+        4,
+    )
+}
+
+#[test]
+fn robustness_report_text_matches_golden() {
+    let report = demo_report();
+    // The golden must exercise every declared fault kind and both check
+    // outcomes — a report where nothing fails (or nothing fires) pins the
+    // wrong thing.
+    assert_eq!(report.kinds.len(), 7, "demo must cover all fault kinds");
+    assert!(!report.failures().is_empty(), "no failing scheme");
+    assert!(
+        report.rows.iter().any(|r| r.all_passed()),
+        "no passing scheme"
+    );
+    check("robustness_report.txt", &report.render_text());
+}
+
+#[test]
+fn robustness_report_csv_matches_golden() {
+    check("robustness_report.csv", &demo_report().to_csv());
+}
+
+#[test]
+fn faulted_inspect_table_matches_golden() {
+    let req = InspectRequest {
+        windows: 2,
+        faults: demo_scripts(),
+        ..InspectRequest::default()
+    };
+    let table = inspect(&req, InspectFormat::Table);
+    // The same request without faults must render differently — the faults
+    // have to actually reach the instrumented run.
+    let clean = inspect(
+        &InspectRequest {
+            windows: 2,
+            ..InspectRequest::default()
+        },
+        InspectFormat::Table,
+    );
+    assert_ne!(table, clean, "faults did not alter the inspected run");
+    check("inspect_faulted_table.txt", &table);
+}

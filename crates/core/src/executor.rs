@@ -10,10 +10,12 @@
 use std::collections::BTreeMap;
 
 use iotse_energy::attribution::{Device, EnergyLedger, Routine};
-use iotse_sensors::reading::SensorSample;
+use iotse_sensors::faults::{apply as apply_sample_fault, SampleFault};
+use iotse_sensors::reading::{SampleValue, SensorSample};
 use iotse_sensors::spec::SensorId;
 use iotse_sensors::world::{PhysicalWorld, WorldConfig};
 use iotse_sim::engine::Engine;
+use iotse_sim::faults::{FaultPlan, FaultScript, SensorDisposition};
 use iotse_sim::metrics::{HistogramId, MetricsRegistry};
 use iotse_sim::rng::SeedTree;
 use iotse_sim::time::{SimDuration, SimTime};
@@ -54,6 +56,7 @@ pub struct Scenario {
     trace: bool,
     metrics: bool,
     compute_cache: bool,
+    faults: Vec<FaultScript>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -63,6 +66,7 @@ impl std::fmt::Debug for Scenario {
             .field("apps", &self.apps.len())
             .field("windows", &self.windows)
             .field("seed", &self.seed)
+            .field("faults", &self.faults.len())
             .finish()
     }
 }
@@ -83,6 +87,7 @@ impl Scenario {
             trace: false,
             metrics: false,
             compute_cache: true,
+            faults: Vec::new(),
         }
     }
 
@@ -148,6 +153,23 @@ impl Scenario {
         self
     }
 
+    /// Injects scripted faults (see [`iotse_sim::faults`]). An empty list
+    /// is the default and compiles no plan at all: a faults-off run draws
+    /// no extra random numbers, schedules no extra events and is bitwise
+    /// identical to a run on a build without the fault layer.
+    #[must_use]
+    pub fn faults(mut self, scripts: Vec<FaultScript>) -> Self {
+        self.faults = scripts;
+        self
+    }
+
+    /// Adds one fault script (may be chained).
+    #[must_use]
+    pub fn fault(mut self, script: FaultScript) -> Self {
+        self.faults.push(script);
+        self
+    }
+
     /// Disables the cross-scheme compute cache (on by default), forcing
     /// every kernel to run even when a memoized output exists. Results are
     /// bitwise identical either way — the cache only skips recomputing pure
@@ -179,6 +201,7 @@ impl Scenario {
             trace,
             metrics,
             compute_cache,
+            faults,
         } = self;
         // An inconsistent calibration is a scenario-construction bug, part
         // of run()'s documented panic contract above.
@@ -251,6 +274,9 @@ impl Scenario {
         }
 
         let seeds = SeedTree::new(seed);
+        // No scripts, no plan: the faults-off path must cost nothing and
+        // change nothing (see the `faults` builder).
+        let fault_plan = (!faults.is_empty()).then(|| FaultPlan::new(&seeds, &faults));
         let mut exec = Exec {
             world: PhysicalWorld::new(&seeds, world_cfg),
             cal,
@@ -272,6 +298,8 @@ impl Scenario {
             interrupts: 0,
             sensor_reads: 0,
             bytes_transferred: 0,
+            faults: fault_plan,
+            stuck: BTreeMap::new(),
         };
 
         for (app, flow) in apps.into_iter().zip(flows.iter().copied()) {
@@ -324,6 +352,20 @@ impl Scenario {
             );
         }
 
+        // Interrupt-storm scripts add their spurious wakeups as first-class
+        // engine events. Faults-off runs take the `None` arm and the event
+        // count — gated exactly by the bench suite — is untouched.
+        if let Some(plan) = &exec.faults {
+            let schedule = plan.storm_schedule();
+            if !schedule.is_empty() {
+                engine.schedule_call_batch(
+                    "fault_storm",
+                    storm_trampoline,
+                    schedule.into_iter().map(|t| (t, 0, 0)),
+                );
+            }
+        }
+
         // The root span covers the whole run; every tick nests under it.
         let root = exec
             .trace
@@ -367,6 +409,12 @@ impl Scenario {
         // End-of-run counters come straight from the totals the executor
         // already tracks; only per-event histograms observe on the hot path.
         let mcu_stats = exec.mcu.stats();
+        let fault_stats = exec
+            .faults
+            .as_ref()
+            .map(FaultPlan::stats)
+            .unwrap_or_default();
+        let faults_on = exec.faults.is_some();
         let metrics = exec.metrics.map(|mut m| {
             let c = m.reg.counter("iotse_core_interrupts_total");
             m.reg.add(c, exec.interrupts);
@@ -382,6 +430,16 @@ impl Scenario {
             let c = m.reg.counter("iotse_core_qos_misses_total");
             m.reg
                 .add(c, apps.iter().map(|a| a.qos_violations() as u64).sum());
+            // Fault counters register only when a plan ran, so faults-off
+            // metric snapshots stay byte-identical to the pre-fault layer.
+            if faults_on {
+                let c = m.reg.counter("iotse_core_faults_injected_total");
+                m.reg.add(c, fault_stats.faults_injected);
+                let c = m.reg.counter("iotse_core_samples_dropped_total");
+                m.reg.add(c, fault_stats.samples_dropped);
+                let c = m.reg.counter("iotse_core_bytes_corrupted_total");
+                m.reg.add(c, fault_stats.bytes_corrupted);
+            }
             exec.ledger.export_metrics(&mut m.reg);
             m.reg.snapshot()
         });
@@ -397,6 +455,7 @@ impl Scenario {
             interrupts: exec.interrupts,
             sensor_reads: exec.sensor_reads,
             bytes_transferred: exec.bytes_transferred,
+            faults: fault_stats,
             apps,
             cpu_timeline: exec.cpu.timeline().map(<[_]>::to_vec),
             mcu_timeline: exec.mcu.timeline().map(<[_]>::to_vec),
@@ -455,6 +514,21 @@ fn validate_rates(app: &dyn Workload) {
 /// without boxing (see `EventBody::Call`).
 fn tick_trampoline(exec: &mut Exec, eng: &mut Engine<Exec>, group_idx: u64, window: u64) {
     exec.on_tick(eng.now(), group_idx as usize, window as u32);
+}
+
+/// The interrupt-storm entry point: a spurious interrupt paid for like a
+/// real one (MCU raise + CPU handling, including any sleep transitions).
+/// Only scheduled when an interrupt-storm script exists.
+fn storm_trampoline(exec: &mut Exec, eng: &mut Engine<Exec>, _a: u64, _b: u64) {
+    let now = eng.now();
+    let handled = exec.interrupt(now);
+    exec.trace
+        .record_with(handled, TraceKind::Interrupt, "mcu", || {
+            "fault: spurious interrupt".to_string()
+        });
+    if let Some(plan) = &mut exec.faults {
+        plan.note_storm_interrupt();
+    }
 }
 
 /// A tick stream: one sensor sampled at one rate on behalf of one or more
@@ -597,6 +671,10 @@ struct Exec {
     interrupts: u64,
     sensor_reads: u64,
     bytes_transferred: u64,
+    /// Compiled fault schedule; `None` on the (default) fault-free path.
+    faults: Option<FaultPlan>,
+    /// Values latched by stuck-at faults, keyed by sensor.
+    stuck: BTreeMap<SensorId, SampleValue>,
 }
 
 impl Exec {
@@ -644,13 +722,27 @@ impl Exec {
         let collect = self
             .trace
             .enter_span(now, TraceKind::SensorRead, "iotse_core_collect");
+        // Fault hooks: a compiled plan decides this sampling event's fate
+        // and any clock-drift stretch of the read overhead. Both branches
+        // collapse to `None`/`ZERO` without a plan — the fault-free path
+        // makes no extra draws and charges the exact seed costs.
+        let disposition = match &mut self.faults {
+            Some(plan) => plan.sensor_disposition(sensor.slot(), now),
+            None => None,
+        };
+        let read_cost = match &mut self.faults {
+            Some(plan) => {
+                self.cal.mcu_read_overhead + plan.drift_extra(self.cal.mcu_read_overhead, now)
+            }
+            None => self.cal.mcu_read_overhead,
+        };
         let mut sample: Option<SensorSample> = None;
         let mut read_end = now;
         for _attempt in 0..MAX_READ_RETRIES {
             let (_, end) = self.mcu.task(
                 &mut self.ledger,
                 read_end,
-                self.cal.mcu_read_overhead,
+                read_cost,
                 Routine::DataCollection,
                 None,
             );
@@ -663,6 +755,17 @@ impl Exec {
             );
             self.sensor_reads += 1;
             read_end = end;
+            if disposition == Some(SensorDisposition::Drop) {
+                // Dropout: the sensor never answers. Every retry is paid
+                // for (MCU overhead + sensor acquisition power) but the
+                // generator is never advanced — the physical world is
+                // unchanged by a read that did not happen.
+                self.trace
+                    .record_with(end, TraceKind::SensorRead, "mcu", || {
+                        format!("fault: {sensor} dropout")
+                    });
+                continue;
+            }
             match self.world.read(sensor, now) {
                 Ok(s) => {
                     sample = Some(s);
@@ -672,6 +775,31 @@ impl Exec {
                 Err(e) => self
                     .trace
                     .record_with(end, TraceKind::SensorRead, "mcu", || e.to_string()),
+            }
+        }
+        // Stuck-at and noise-burst perturb the sample after acquisition,
+        // on the sensors-crate injection surface.
+        if let Some(s) = &mut sample {
+            match disposition {
+                Some(SensorDisposition::Stick) => {
+                    if let Some(latched) = self.stuck.get(&sensor) {
+                        apply_sample_fault(s, &SampleFault::StuckAt(latched));
+                    } else {
+                        // First read under the fault latches; later reads
+                        // in the window replay it.
+                        self.stuck.insert(sensor, s.value.clone());
+                    }
+                }
+                Some(SensorDisposition::Noise(offset)) => {
+                    apply_sample_fault(s, &SampleFault::Noise(offset));
+                }
+                _ => {
+                    // A genuine read releases any latch, so a later
+                    // stuck-at window latches afresh.
+                    if self.faults.is_some() {
+                        self.stuck.remove(&sensor);
+                    }
+                }
             }
         }
         if let Some(lbl) = sensor_label.filter(|_| sample.is_some()) {
@@ -689,7 +817,7 @@ impl Exec {
         self.trace.exit_span(collect, read_end);
 
         // Collection busy time, split across sharers under BEAM.
-        let share = self.cal.mcu_read_overhead / members.len() as u64;
+        let share = read_cost / members.len() as u64;
         for &m in &members {
             self.pending(m, window).processing.data_collection += share;
         }
@@ -822,12 +950,28 @@ impl Exec {
     /// only pays a short descriptor setup and the wire runs on its own.
     /// Returns the completion instant.
     fn transfer(&mut self, ready: SimTime, bytes: usize) -> SimTime {
+        // Link faults: a partition makes the transfer wait for the window
+        // to lift; corruption retransmits the damaged bytes, stretching
+        // wire time. Payload accounting (`bytes_transferred`) counts the
+        // application's bytes only — corrupt copies are pure overhead.
+        let mut ready = ready;
+        let mut wire_bytes = bytes;
+        if let Some(plan) = &mut self.faults {
+            if let Some(release) = plan.partition_release(ready) {
+                self.trace
+                    .record_with(ready, TraceKind::DataTransfer, "link", || {
+                        "fault: link partition".to_string()
+                    });
+                ready = release;
+            }
+            wire_bytes += plan.corrupted_bytes(ready, bytes as u64) as usize;
+        }
         let span = self
             .trace
             .enter_span(ready, TraceKind::DataTransfer, "iotse_core_transfer");
         self.trace
             .span_field(span, "bytes", FieldValue::U64(bytes as u64));
-        let dur = self.cal.transfer_time(bytes);
+        let dur = self.cal.transfer_time(wire_bytes);
         self.bytes_transferred += bytes as u64;
         if let Some(m) = &mut self.metrics {
             m.reg.observe(m.transfer_bytes, bytes as f64);

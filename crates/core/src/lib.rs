@@ -22,6 +22,9 @@
 //!   the discrete-event engine and yields a [`result::RunResult`].
 //! * [`runner`] — the scenario fleet runner: fans independent scenarios
 //!   across OS threads with deterministic, submission-ordered results.
+//! * [`robustness`] — scripted-fault robustness grading: runs every scheme
+//!   clean and faulted, grades pluggable expectations, emits a
+//!   [`robustness::RobustnessReport`].
 //! * [`result`] — energy breakdowns, per-app QoS/processing reports,
 //!   speedups.
 //!
@@ -49,6 +52,7 @@ pub mod cpu;
 pub mod executor;
 pub mod mcu;
 pub mod result;
+pub mod robustness;
 pub mod runner;
 pub mod scheme;
 pub mod workload;
@@ -56,6 +60,7 @@ pub mod workload;
 pub use calibration::Calibration;
 pub use executor::Scenario;
 pub use result::{AppFlow, RunResult};
+pub use robustness::{Expectation, RobustnessReport};
 pub use runner::{run_fleet, Fleet};
 pub use scheme::Scheme;
 pub use workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};

@@ -188,6 +188,9 @@ pub struct RunResult {
     pub sensor_reads: u64,
     /// Payload bytes moved MCU→CPU.
     pub bytes_transferred: u64,
+    /// What the fault plan actually did (all-zero unless the scenario ran
+    /// with [`Scenario::faults`](crate::executor::Scenario::faults)).
+    pub faults: iotse_sim::faults::FaultStats,
     /// Per-app reports.
     pub apps: Vec<AppRunReport>,
     /// CPU phase timeline, if recording was enabled.

@@ -38,6 +38,14 @@ impl std::error::Error for ReadSensorError {}
 /// ADC register (10⁻⁴ units per count, the paper's accelerometer example).
 pub const ADC_SCALE: f64 = 1e4;
 
+/// Quantizes a physical value through a signed 32-bit register, exactly as
+/// the driver does for genuine reads. Fault injection reuses this so a
+/// noise-perturbed value is still a value the ADC could have produced.
+#[must_use]
+pub fn quantize(x: f64) -> f64 {
+    through_register(x)
+}
+
 /// Quantizes a physical value through a signed 32-bit register.
 #[must_use]
 fn through_register(x: f64) -> f64 {

@@ -1,0 +1,120 @@
+//! Sample-path fault application.
+//!
+//! The fault *schedule* lives in `iotse_sim::faults`; this module is the
+//! sampling-side injection surface — pure functions that perturb a
+//! [`SensorSample`] the way a faulty sensor would, reusing the driver's
+//! ADC quantization so corrupted values stay representable. The functions
+//! are deterministic in their inputs: all randomness (noise amplitudes,
+//! drop decisions) is drawn upstream from the fault plan's seeded streams.
+
+use crate::driver::quantize;
+use crate::reading::{SampleValue, SensorSample};
+
+/// A perturbation to apply to one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleFault<'a> {
+    /// Replace the value with a previously latched one (stuck-at).
+    StuckAt(&'a SampleValue),
+    /// Add `offset` engineering units to scalar/axis payloads, or flip
+    /// bits derived from the offset in raw byte payloads.
+    Noise(f64),
+}
+
+/// Applies `fault` to `sample` in place. Sequence number and acquisition
+/// time are untouched — the read *happened*, it just lied.
+pub fn apply(sample: &mut SensorSample, fault: &SampleFault<'_>) {
+    match fault {
+        SampleFault::StuckAt(latched) => sample.value = (*latched).clone(),
+        SampleFault::Noise(offset) => perturb(&mut sample.value, *offset),
+    }
+}
+
+fn perturb(value: &mut SampleValue, offset: f64) {
+    match value {
+        SampleValue::Scalar(x) => *x = quantize(*x + offset),
+        SampleValue::Triple(axes) => {
+            // Alternate the offset's sign across axes so a burst reads as
+            // jitter, not a uniform bias a mean filter would cancel.
+            for (i, axis) in axes.iter_mut().enumerate() {
+                let signed = if i % 2 == 0 { offset } else { -offset };
+                *axis = quantize(*axis + signed);
+            }
+        }
+        SampleValue::Bytes(bytes) => {
+            // Derive a deterministic flip mask from the offset's bit
+            // pattern; `| 1` guarantees at least one bit changes even for
+            // a zero draw.
+            let bits = offset.to_bits();
+            for (i, b) in bytes.iter_mut().take(8).enumerate() {
+                let mask = ((bits >> (8 * i)) & 0xFF) as u8;
+                *b ^= if i == 0 { mask | 1 } else { mask };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SensorId;
+    use iotse_sim::SimTime;
+
+    fn sample(value: SampleValue) -> SensorSample {
+        SensorSample {
+            sensor: SensorId::S4,
+            seq: 7,
+            acquired_at: SimTime::from_millis(10),
+            value,
+        }
+    }
+
+    #[test]
+    fn stuck_at_replaces_only_the_value() {
+        let latched = SampleValue::Scalar(1.25);
+        let mut s = sample(SampleValue::Scalar(9.0));
+        apply(&mut s, &SampleFault::StuckAt(&latched));
+        assert_eq!(s.value, latched);
+        assert_eq!(s.seq, 7);
+        assert_eq!(s.acquired_at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn scalar_noise_is_quantized() {
+        let mut s = sample(SampleValue::Scalar(1.0));
+        apply(&mut s, &SampleFault::Noise(0.000049));
+        // Below half an ADC count: quantizes back to the original.
+        assert_eq!(s.value, SampleValue::Scalar(1.0));
+        apply(&mut s, &SampleFault::Noise(0.5));
+        assert_eq!(s.value, SampleValue::Scalar(1.5));
+    }
+
+    #[test]
+    fn triple_noise_alternates_sign() {
+        let mut s = sample(SampleValue::Triple([1.0, 1.0, 1.0]));
+        apply(&mut s, &SampleFault::Noise(0.25));
+        assert_eq!(s.value, SampleValue::Triple([1.25, 0.75, 1.25]));
+    }
+
+    #[test]
+    fn byte_noise_always_changes_the_payload() {
+        let original = vec![0u8; 16];
+        let mut s = sample(SampleValue::Bytes(original.clone()));
+        apply(&mut s, &SampleFault::Noise(0.0));
+        let SampleValue::Bytes(corrupted) = &s.value else {
+            panic!("payload kind changed");
+        };
+        assert_ne!(*corrupted, original);
+        assert_eq!(corrupted.len(), original.len());
+        // Only the first 8 bytes are in the flip window.
+        assert_eq!(corrupted[8..], original[8..]);
+    }
+
+    #[test]
+    fn byte_noise_is_deterministic_in_its_inputs() {
+        let mut a = sample(SampleValue::Bytes(vec![3, 1, 4, 1, 5]));
+        let mut b = sample(SampleValue::Bytes(vec![3, 1, 4, 1, 5]));
+        apply(&mut a, &SampleFault::Noise(2.5));
+        apply(&mut b, &SampleFault::Noise(2.5));
+        assert_eq!(a, b);
+    }
+}

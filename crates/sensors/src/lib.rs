@@ -43,6 +43,7 @@
 pub mod bus;
 pub mod catalog;
 pub mod driver;
+pub mod faults;
 pub mod reading;
 pub mod signal;
 pub mod spec;

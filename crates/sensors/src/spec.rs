@@ -43,6 +43,20 @@ impl SensorId {
         SensorId::S9,
         SensorId::S10,
     ];
+
+    /// The sensor's fault-target slot: its position in the Table I order
+    /// (S1 is slot 0, S4 slot 3, …). [`SensorId::S10Hi`] shares S10's row
+    /// and therefore its slot — a fault on the camera hits both framings.
+    #[must_use]
+    pub fn slot(self) -> u16 {
+        match self {
+            SensorId::S10Hi => 9,
+            other => Self::ALL
+                .iter()
+                .position(|&s| s == other)
+                .map_or(u16::MAX, |i| i as u16),
+        }
+    }
 }
 
 impl fmt::Display for SensorId {

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
@@ -59,6 +60,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, RunOutcome};
+pub use faults::{FaultKind, FaultPlan, FaultScript, FaultStats};
 pub use metrics::{MetricsRegistry, MetricsReport};
 pub use rng::SeedTree;
 pub use time::{SimDuration, SimTime};

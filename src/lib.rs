@@ -42,10 +42,13 @@ pub use iotse_sim as sim;
 /// The types most programs need.
 pub mod prelude {
     pub use iotse_apps::catalog;
+    pub use iotse_core::robustness::{
+        EnergyRatioBound, Expectation, NoPanic, QosDegradationBound, RobustnessReport,
+    };
     pub use iotse_core::{
         run_fleet, AppFlow, AppId, AppOutput, Calibration, Fleet, RunResult, Scenario, Scheme,
     };
     pub use iotse_energy::{Breakdown, Energy, Power};
     pub use iotse_sensors::{PhysicalWorld, SensorId, WorldConfig};
-    pub use iotse_sim::{SeedTree, SimDuration, SimTime};
+    pub use iotse_sim::{FaultKind, FaultScript, FaultStats, SeedTree, SimDuration, SimTime};
 }

@@ -363,6 +363,102 @@ fn span_trees_are_well_formed_for_any_seed() {
     });
 }
 
+/// Whatever the seed, a faulted scenario is a pure function of its inputs:
+/// the same fault scripts replay to an identical `RunResult` (and identical
+/// `FaultStats`) across back-to-back runs and across fleet `--jobs` levels.
+#[test]
+fn fault_schedules_are_deterministic_for_any_seed() {
+    use iotse::core::runner::run_fleet;
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Batching,
+        Scheme::Com,
+        Scheme::Beam,
+        Scheme::Bcom,
+    ];
+    forall(10, |case, rng| {
+        let seed = rng.gen_range(0..5_000u64);
+        let script_seed = rng.gen::<u64>();
+        let scheme = schemes[case as usize % schemes.len()];
+        let scripts = |fault_seed: u64| {
+            vec![
+                FaultScript::new(
+                    FaultKind::SensorDropout { probability: 0.4 },
+                    SimTime::ZERO,
+                    SimDuration::from_millis(600),
+                )
+                .seeded(fault_seed),
+                FaultScript::new(
+                    FaultKind::InterruptStorm { rate_hz: 500 },
+                    SimTime::from_millis(400),
+                    SimDuration::from_millis(400),
+                )
+                .seeded(fault_seed ^ 1),
+            ]
+        };
+        let faulted = |fault_seed: u64, jobs: usize| {
+            run_fleet(
+                vec![Scenario::new(scheme, catalog::apps(&[AppId::A2], seed))
+                    .windows(1)
+                    .seed(seed)
+                    .faults(scripts(fault_seed))],
+                jobs,
+            )
+            .pop()
+            .expect("one result")
+        };
+        let first = faulted(script_seed, 1);
+        assert!(
+            first.faults.faults_injected > 0,
+            "case {case} seed {seed}: no faults fired"
+        );
+        for jobs in [1, 4, 8] {
+            assert_eq!(
+                first,
+                faulted(script_seed, jobs),
+                "case {case} seed {seed} {scheme}: schedule drifted at --jobs {jobs}"
+            );
+        }
+    });
+}
+
+/// Different fault-script seeds draw from disjoint RNG streams: the same
+/// scenario under the same dropout window but a different script seed drops
+/// a different set of samples (distinct schedules, not just distinct
+/// counters by luck — the full results must differ).
+#[test]
+fn distinct_fault_seeds_give_distinct_schedules() {
+    forall(10, |case, rng| {
+        let seed = rng.gen_range(0..5_000u64);
+        let a = rng.gen::<u64>();
+        let b = a ^ rng.gen_range(1..u64::MAX);
+        let run = |fault_seed: u64| {
+            Scenario::new(Scheme::Baseline, catalog::apps(&[AppId::A2], seed))
+                .windows(1)
+                .seed(seed)
+                .fault(
+                    FaultScript::new(
+                        FaultKind::SensorDropout { probability: 0.5 },
+                        SimTime::ZERO,
+                        SimDuration::from_secs(1),
+                    )
+                    .seeded(fault_seed),
+                )
+                .run()
+        };
+        let ra = run(a);
+        let rb = run(b);
+        assert!(
+            ra.faults.samples_dropped > 0 && rb.faults.samples_dropped > 0,
+            "case {case} seed {seed}: dropout never fired"
+        );
+        assert_ne!(
+            ra, rb,
+            "case {case} seed {seed}: fault seeds {a} and {b} gave one schedule"
+        );
+    });
+}
+
 /// Whatever the seed, the executor's structural counters equal the Table II
 /// derivation, and energy orderings hold.
 #[test]
