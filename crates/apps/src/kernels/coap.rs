@@ -142,13 +142,16 @@ impl CoapMessage {
             .filter(|s| !s.is_empty())
             .map(|seg| CoapOption {
                 number: OPT_URI_PATH,
+                // lint: the request owns its path segments, a few bytes each
                 value: seg.as_bytes().to_vec(),
             })
+            // lint: the request owns its option list
             .collect();
         CoapMessage {
             mtype: CoapType::Confirmable,
             code: CoapCode::GET,
             message_id,
+            // lint: the request owns its token, at most 8 bytes
             token: token.to_vec(),
             options,
             // lint: GET carries no payload; empty Vec does not allocate
@@ -163,6 +166,7 @@ impl CoapMessage {
             mtype: CoapType::Acknowledgement,
             code: CoapCode::CONTENT,
             message_id,
+            // lint: the request owns its token, at most 8 bytes
             token: token.to_vec(),
             // lint: building the option list is the CoAP framing workload itself
             options: vec![CoapOption {
@@ -198,6 +202,7 @@ impl CoapMessage {
             self.options.windows(2).all(|w| w[0].number <= w[1].number),
             "options must be sorted by number"
         );
+        // lint: encode returns the owned wire buffer, sized up front
         let mut out = Vec::with_capacity(8 + self.payload.len());
         out.push(0x40 | (self.mtype.to_bits() << 4) | self.token.len() as u8);
         out.push(self.code.to_byte());
@@ -227,6 +232,7 @@ impl CoapMessage {
     ///
     /// Returns [`DecodeCoapError`] on truncated or malformed input.
     pub fn decode(bytes: &[u8]) -> Result<CoapMessage, DecodeCoapError> {
+        // lint: the error message only allocates on a malformed datagram
         let err = |m: &str| DecodeCoapError(m.to_string());
         if bytes.len() < 4 {
             return Err(err("shorter than fixed header"));
@@ -245,6 +251,7 @@ impl CoapMessage {
         if pos + tkl > bytes.len() {
             return Err(err("truncated token"));
         }
+        // lint: decode builds an owned message; the token is at most 8 bytes
         let token = bytes[pos..pos + tkl].to_vec();
         pos += tkl;
 
@@ -259,6 +266,7 @@ impl CoapMessage {
                 if pos == bytes.len() {
                     return Err(err("payload marker with empty payload"));
                 }
+                // lint: decode builds an owned message; the payload copy is the result
                 payload = bytes[pos..].to_vec();
                 break;
             }
@@ -276,6 +284,7 @@ impl CoapMessage {
             }
             options.push(CoapOption {
                 number,
+                // lint: decode builds an owned message; options are a few bytes each
                 value: bytes[pos..pos + len].to_vec(),
             });
             pos += len;
@@ -298,6 +307,7 @@ fn nibble(v: u16) -> (u8, Vec<u8>) {
         0..=12 => (v as u8, Vec::new()),
         // lint: nibble extensions are 0-2 bytes; the empty arm never allocates
         13..=268 => (13, vec![(v - 13) as u8]),
+        // lint: nibble extensions are 0-2 bytes
         _ => (14, (v - 269).to_be_bytes().to_vec()),
     }
 }

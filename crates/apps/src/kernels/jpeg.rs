@@ -282,6 +282,7 @@ pub fn decode_into(
     symbols: &mut Vec<i32>,
     pixels: &mut Vec<u8>,
 ) -> Result<(), DecodeImageError> {
+    // lint: the error message only allocates on a malformed stream
     let err = |m: &str| DecodeImageError(m.to_string());
     let quant = quant_table(image.quality);
     let bw = image.width.div_ceil(8);

@@ -256,6 +256,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
+            // lint: the error message only allocates on invalid JSON
             Err(self.err(format!("expected '{}'", b as char)))
         }
     }
@@ -265,6 +266,7 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(value)
         } else {
+            // lint: the error message only allocates on invalid JSON
             Err(self.err(format!("expected '{lit}'")))
         }
     }
@@ -278,6 +280,7 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
+            // lint: the error message only allocates on invalid JSON
             Some(c) => Err(self.err(format!("unexpected '{}'", c as char))),
             None => Err(self.err("unexpected end of input")),
         }
@@ -353,6 +356,7 @@ impl<'a> Parser<'a> {
             .ok()
             .filter(|x| x.is_finite())
             .map(Json::Number)
+            // lint: the error message only allocates on invalid JSON
             .ok_or_else(|| self.err(format!("bad number '{text}'")))
     }
 
@@ -367,6 +371,7 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.skim_array(),
             Some(b'{') => self.skim_object(),
             Some(b'-' | b'0'..=b'9') => self.number().map(drop),
+            // lint: the error message only allocates on invalid JSON
             Some(c) => Err(self.err(format!("unexpected '{}'", c as char))),
             None => Err(self.err("unexpected end of input")),
         }

@@ -163,8 +163,10 @@ impl QrsDetector {
         if self.rr_history.len() < 4 {
             return false;
         }
-        let mut recent: Vec<f64> =
-            self.rr_history[self.rr_history.len().saturating_sub(8)..].to_vec();
+        let window = &self.rr_history[self.rr_history.len().saturating_sub(8)..];
+        let mut recent = [0.0f64; 8];
+        recent[..window.len()].copy_from_slice(window);
+        let recent = &mut recent[..window.len()];
         recent.sort_by(|a, b| a.partial_cmp(b).expect("RR intervals are finite"));
         let median = recent[recent.len() / 2];
         rr < median * self.config.premature_fraction

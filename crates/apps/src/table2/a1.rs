@@ -59,6 +59,7 @@ fn serve(mid: u16, payload_buf: &mut String, path: &str, values: &[f64]) -> Coap
     CoapMessage::content(
         parsed.message_id,
         &parsed.token,
+        // lint: the message owns its payload; one copy per served request
         payload_buf.as_bytes().to_vec(),
     )
 }
@@ -94,6 +95,7 @@ impl Workload for CoapServer {
         true
     }
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let CoapServer {
             next_message_id,
@@ -104,6 +106,7 @@ impl Workload for CoapServer {
             scalars: values,
             ..
         } = scratch;
+        // lint: the document is the returned AppOutput, so it cannot live in scratch
         let mut doc = String::new();
         for (i, (path, sensor)) in [
             ("sensors/light", SensorId::S7),

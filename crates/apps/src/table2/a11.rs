@@ -86,6 +86,7 @@ impl Workload for SpeechToText {
         true
     }
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let Scratch {
             scalars: samples,
@@ -105,7 +106,9 @@ impl Workload for SpeechToText {
         let words = self
             .recognitions
             .iter()
+            // lint: the word list is the returned AppOutput, sized by hits, not window len
             .map(|r| self.spotter.word_str(r.word).to_string())
+            // lint: the word list is the returned AppOutput
             .collect();
         AppOutput::Words(words)
     }

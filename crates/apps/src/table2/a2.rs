@@ -63,6 +63,7 @@ impl Workload for StepCounter {
         true
     }
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let samples = &mut self.scratch.triples;
         samples.clear();

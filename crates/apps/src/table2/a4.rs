@@ -77,6 +77,7 @@ impl Workload for M2xClient {
         true
     }
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let request_no = u64::from(data.window) + 1;
         let Scratch {
@@ -136,6 +137,7 @@ impl Workload for M2xClient {
             .nth(1)
             .expect("request has a body");
         Json::validate(echoed).expect("own body parses");
+        // lint: the status line is the returned AppOutput, one small format per window
         AppOutput::Document(format!(
             "202 Accepted request#{request_no} streams={} values={values} bytes={}",
             Self::STREAMS.len(),

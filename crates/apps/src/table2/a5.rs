@@ -32,7 +32,9 @@ impl BlynkFrame {
     /// Encodes a virtual-pin write: body `vw\0<pin>\0<value>`.
     #[must_use]
     pub fn virtual_write(message_id: u16, pin: u8, value: &str) -> BlynkFrame {
+        // lint: each frame owns its wire body, a handful per window
         let mut body = b"vw\0".to_vec();
+        // lint: a one- or two-digit pin label, a handful per window
         body.extend_from_slice(pin.to_string().as_bytes());
         body.push(0);
         body.extend_from_slice(value.as_bytes());
@@ -51,6 +53,7 @@ impl BlynkFrame {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let len = u16::try_from(self.body.len()).expect("body fits u16");
+        // lint: encode returns the owned wire buffer, sized up front
         let mut out = Vec::with_capacity(5 + self.body.len());
         out.push(self.command);
         out.extend_from_slice(&self.message_id.to_be_bytes());
@@ -70,6 +73,7 @@ impl BlynkFrame {
         }
         let len = usize::from(u16::from_be_bytes([bytes[3], bytes[4]]));
         if bytes.len() != 5 + len {
+            // lint: the error message only allocates on a malformed frame
             return Err(format!(
                 "length field {len} does not match body {}",
                 bytes.len() - 5
@@ -78,6 +82,7 @@ impl BlynkFrame {
         Ok(BlynkFrame {
             command: bytes[0],
             message_id: u16::from_be_bytes([bytes[1], bytes[2]]),
+            // lint: decode builds an owned frame; the body copy is the result
             body: bytes[5..].to_vec(),
         })
     }
@@ -137,12 +142,15 @@ impl Workload for Blynk {
         true
     }
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
+        // lint: a handful of protocol frames per window, sized by widget count
         let mut frames: Vec<BlynkFrame> = Vec::new();
         // Scalar dashboards: latest value of each scalar sensor.
         for (pin, sensor) in [(1u8, SensorId::S1), (2, SensorId::S2), (4, SensorId::S5)] {
             if let Some(x) = data.sensor(sensor).last().and_then(|s| s.value.as_scalar()) {
                 let id = self.next_id();
+                // lint: one short value string per dashboard widget
                 frames.push(BlynkFrame::virtual_write(id, pin, &format!("{x:.2}")));
             }
         }
@@ -157,6 +165,7 @@ impl Workload for Blynk {
         if mag_count > 0 {
             let mean = mag_sum / mag_count as f64;
             let id = self.next_id();
+            // lint: one short value string per dashboard widget
             frames.push(BlynkFrame::virtual_write(id, 3, &format!("{mean:.3}")));
         }
         // Camera widget: 8×8-downsampled luma thumbnail of the S10 frame
@@ -186,6 +195,7 @@ impl Workload for Blynk {
         }
         // Serialize the session and verify our own framing end-to-end.
         let mut wire_total = 0usize;
+        // lint: the line list becomes the returned AppOutput document
         let mut lines = Vec::new();
         for f in &frames {
             let wire = f.encode();
@@ -193,6 +203,7 @@ impl Workload for Blynk {
             let back = BlynkFrame::decode(&wire).expect("own framing decodes");
             lines.push(String::from_utf8_lossy(&back.body).replace('\0', " "));
         }
+        // lint: one trailer line per window, part of the returned document
         lines.push(format!("frames={} wire_bytes={wire_total}", frames.len()));
         AppOutput::Document(lines.join("\n"))
     }

@@ -60,6 +60,7 @@ impl Workload for DropboxManager {
     // has seen, and the sync counter names each report — both depend on
     // window history, not just this window's samples.
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         // Serialize the window's recordings into the file bytes to sync.
         let file = &mut self.scratch.bytes_a;
@@ -74,6 +75,7 @@ impl Workload for DropboxManager {
         }
         let report = self.store.sync(file);
         self.windows_synced += 1;
+        // lint: the sync report is the returned AppOutput, one small format per window
         AppOutput::Document(format!(
             "sync#{}: uploaded={} deduplicated={} bytes={} store={}",
             self.windows_synced,

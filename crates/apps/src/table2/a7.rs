@@ -63,6 +63,7 @@ impl Workload for EarthquakeDetection {
     // windows, so replaying a cached verdict would skip the state update
     // and change later windows.
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let samples = &mut self.scratch.triples;
         samples.clear();

@@ -63,6 +63,7 @@ impl Workload for HeartbeatIrregularity {
     // RR-interval history across windows, so replaying a cached summary
     // would skip the state update and change later windows.
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let samples = &mut self.scratch.scalars;
         samples.clear();

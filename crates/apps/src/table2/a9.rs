@@ -78,6 +78,7 @@ impl Workload for JpegDecoder {
         true
     }
 
+    // iotse-lint: hot-path
     fn compute(&mut self, data: &WindowData) -> AppOutput {
         let Some(rgb) = data
             .sensor(SensorId::S10)

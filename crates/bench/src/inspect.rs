@@ -131,7 +131,7 @@ pub fn run(req: &InspectRequest) -> RunResult {
         scenario = scenario.faults(req.faults.clone());
     }
     let mut results = Fleet::new(req.jobs).run(vec![scenario]);
-    // iotse-lint: allow(IOTSE-E04) the fleet returns one result per scenario
+    // The fleet returns one result per scenario (E04 does not apply to bench).
     results.pop().expect("one scenario in, one result out")
 }
 

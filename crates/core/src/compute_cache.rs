@@ -53,6 +53,7 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
 fn store() -> &'static Mutex<Store> {
+    // lint: BTreeMap::new is alloc-free, and get_or_init runs it once
     CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
@@ -127,6 +128,7 @@ pub fn memoized_output(
         return (*hit).clone();
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
+    // lint: miss path only — one shared box per distinct (app, salt, window)
     let value = Arc::new(compute());
     // iotse-lint: allow(IOTSE-E04) poisoning only follows a kernel panic, which already aborts the run
     let mut map = store().lock().expect("compute cache poisoned");

@@ -512,6 +512,7 @@ fn validate_rates(app: &dyn Workload) {
 
 /// The tick entry point, as a plain `fn` so the engine can store it
 /// without boxing (see `EventBody::Call`).
+// iotse-lint: hot-path
 fn tick_trampoline(exec: &mut Exec, eng: &mut Engine<Exec>, group_idx: u64, window: u64) {
     exec.on_tick(eng.now(), group_idx as usize, window as u32);
 }
@@ -695,6 +696,7 @@ impl Exec {
         }
     }
 
+    // iotse-lint: hot-path
     fn on_tick(&mut self, now: SimTime, group_idx: usize, window: u32) {
         // Borrow the member list out of the group (restored before returning)
         // and copy the scalar fields — a tick never clones its group.
@@ -762,6 +764,7 @@ impl Exec {
                 // unchanged by a read that did not happen.
                 self.trace
                     .record_with(end, TraceKind::SensorRead, "mcu", || {
+                        // lint: formats only when a trace sink is live
                         format!("fault: {sensor} dropout")
                     });
                 continue;
@@ -771,9 +774,9 @@ impl Exec {
                     sample = Some(s);
                     break;
                 }
-                // The error string only formats when tracing is live.
                 Err(e) => self
                     .trace
+                    // lint: the error string only formats when tracing is live
                     .record_with(end, TraceKind::SensorRead, "mcu", || e.to_string()),
             }
         }
@@ -900,6 +903,7 @@ impl Exec {
                     window,
                     start,
                     end: start + window_len,
+                    // lint: BTreeMap::new is alloc-free; nodes allocate on first insert
                     samples: BTreeMap::new(),
                 },
                 received: 0,
@@ -960,6 +964,7 @@ impl Exec {
             if let Some(release) = plan.partition_release(ready) {
                 self.trace
                     .record_with(ready, TraceKind::DataTransfer, "link", || {
+                        // lint: formats only when a trace sink is live
                         "fault: link partition".to_string()
                     });
                 ready = release;
@@ -1128,6 +1133,7 @@ impl Exec {
     /// The energy/timing books are untouched either way: compute energy is
     /// charged from the profiled durations by the caller, never from the
     /// kernel's host runtime.
+    // iotse-lint: hot-path
     fn run_kernel(&mut self, app: usize, data: &WindowData) -> AppOutput {
         let enabled = self.compute_cache;
         let workload = self.apps[app].workload.as_mut();

@@ -231,21 +231,41 @@ impl AppOutput {
         }
     }
 
-    /// One-line human summary.
+    /// One-line human summary. Prefer the [`fmt::Display`] impl when a
+    /// target buffer already exists — it formats without allocating.
     #[must_use]
     pub fn summary(&self) -> String {
+        use fmt::Write as _;
+        // lint: one pre-sized buffer; alloc-free callers use Display directly
+        let mut out = String::with_capacity(48);
+        let _ = write!(out, "{self}");
+        out
+    }
+}
+
+impl fmt::Display for AppOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AppOutput::Steps(n) => format!("steps={n}"),
-            AppOutput::Quake { detected } => format!("quake={detected}"),
+            AppOutput::Steps(n) => write!(f, "steps={n}"),
+            AppOutput::Quake { detected } => write!(f, "quake={detected}"),
             AppOutput::Heartbeat { beats, irregular } => {
-                format!("beats={beats} irregular={irregular}")
+                write!(f, "beats={beats} irregular={irregular}")
             }
-            AppOutput::Words(ws) => format!("words=[{}]", ws.join(",")),
-            AppOutput::Document(d) => format!("document({}B)", d.len()),
-            AppOutput::ImageQuality { psnr_db } => format!("psnr={psnr_db:.1}dB"),
+            AppOutput::Words(ws) => {
+                f.write_str("words=[")?;
+                for (i, w) in ws.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    f.write_str(w)?;
+                }
+                f.write_str("]")
+            }
+            AppOutput::Document(d) => write!(f, "document({}B)", d.len()),
+            AppOutput::ImageQuality { psnr_db } => write!(f, "psnr={psnr_db:.1}dB"),
             AppOutput::FingerMatch { matched } => match matched {
-                Some(p) => format!("matched=person{p}"),
-                None => "matched=none".into(),
+                Some(p) => write!(f, "matched=person{p}"),
+                None => f.write_str("matched=none"),
             },
         }
     }

@@ -20,10 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod effects;
 pub mod extract;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 pub mod toml_mini;
 
 use std::path::{Path, PathBuf};
@@ -129,6 +133,34 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// The whole-workspace analysis state shared by the call-graph rules:
+/// the symbol table, the resolved call graph, and the effect summaries
+/// closed to a fixpoint. Built once per check run.
+#[derive(Debug)]
+pub struct Analysis<'a> {
+    /// Symbol table over every parsed file.
+    pub syms: symbols::Symbols<'a>,
+    /// Resolved call graph, indexed by [`symbols::FnId`].
+    pub graph: callgraph::CallGraph,
+    /// Per-function effect summaries (local + transitive).
+    pub effects: effects::Effects,
+}
+
+impl<'a> Analysis<'a> {
+    /// Runs the parse → symbols → call-graph → effects pipeline.
+    #[must_use]
+    pub fn build(root: &Path, files: &'a [SourceFile]) -> Analysis<'a> {
+        let syms = symbols::Symbols::build(root, files);
+        let graph = callgraph::CallGraph::build(&syms);
+        let effects = effects::Effects::analyze(&syms, &graph);
+        Analysis {
+            syms,
+            graph,
+            effects,
+        }
+    }
+}
+
 /// Runs every rule over the tree at `root` and returns the surviving
 /// findings, sorted by `(file, line, rule, message)` with per-line
 /// suppressions already applied.
@@ -137,7 +169,15 @@ fn rel_path(root: &Path, path: &Path) -> String {
 ///
 /// Returns [`ScanError`] if the tree cannot be read.
 pub fn run_check(root: &Path) -> Result<Vec<Finding>, ScanError> {
-    let files = scan_workspace(root)?;
+    Ok(check_files(root, scan_workspace(root)?))
+}
+
+/// Runs every rule over an already-scanned file set. Files are re-sorted
+/// by path first, so findings — including call-graph witness paths — are
+/// independent of discovery order.
+#[must_use]
+pub fn check_files(root: &Path, mut files: Vec<SourceFile>) -> Vec<Finding> {
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
     let mut findings = Vec::new();
     for file in &files {
         rules::wallclock::check(file, &mut findings);
@@ -151,6 +191,11 @@ pub fn run_check(root: &Path) -> Result<Vec<Finding>, ScanError> {
         rules::kernel_alloc::check(file, &mut findings);
     }
     rules::table1::check(root, &files, &mut findings);
+
+    let analysis = Analysis::build(root, &files);
+    rules::memo_purity::check(&analysis, &mut findings);
+    rules::seed_streams::check(&files, &mut findings);
+    rules::hot_path::check(&analysis, &mut findings);
 
     let by_path: std::collections::BTreeMap<&str, &SourceFile> =
         files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
@@ -168,5 +213,5 @@ pub fn run_check(root: &Path) -> Result<Vec<Finding>, ScanError> {
         ))
     });
     findings.dedup();
-    Ok(findings)
+    findings
 }

@@ -5,6 +5,7 @@
 //! cargo run -p iotse-lint -- check --json      # machine-readable report
 //! cargo run -p iotse-lint -- check --root DIR  # scan another tree (fixtures)
 //! cargo run -p iotse-lint -- explain           # list the rule catalogue
+//! cargo run -p iotse-lint -- rules --markdown  # emit crates/lint/RULES.md
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
@@ -34,7 +35,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: iotse-lint check [--json] [--root DIR] | iotse-lint explain";
+const USAGE: &str =
+    "usage: iotse-lint check [--json] [--root DIR] | iotse-lint explain | iotse-lint rules [--markdown]";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
@@ -47,6 +49,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "rules" => match args.get(1).map(String::as_str) {
+            Some("--markdown") => {
+                emit(&rules::catalogue_markdown());
+                Ok(ExitCode::SUCCESS)
+            }
+            None => {
+                for (id, kind, _) in rules::DETAILS {
+                    emit(&format!("{id}  [{kind}]\n"));
+                }
+                Ok(ExitCode::SUCCESS)
+            }
+            Some(other) => Err(format!("unknown flag `{other}`")),
+        },
         "check" => {
             let mut json = false;
             let mut root = PathBuf::from(".");

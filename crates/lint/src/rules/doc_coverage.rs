@@ -1,81 +1,61 @@
 //! `IOTSE-P08` — public items in `core` need doc comments.
 //!
-//! `crates/core` is the workspace's public model API; every `pub` item
-//! (fn/struct/enum/trait/const/static/type/mod) must carry a `///` doc
-//! comment (or explicit `#[doc]`). `pub use` re-exports and restricted
-//! `pub(crate)`/`pub(super)` items are out of scope — so is anything
-//! `rustc`'s `missing_docs` would skip, this is the belt to its braces.
+//! `crates/core` is the workspace's public model API; every item that is
+//! *effectively* public (fn/struct/enum/trait/const/static/type/mod) must
+//! carry a `///` doc comment (or explicit `#[doc]`). Effective visibility
+//! comes from the item parse: `pub(crate)`/`pub(super)` items and `pub`
+//! items buried inside private modules are not public API and are out of
+//! scope, as are `pub use` re-exports and anything `rustc`'s
+//! `missing_docs` would skip — this is the belt to its braces.
 
+use crate::parse::Vis;
 use crate::scan::{FileKind, SourceFile};
 use crate::Finding;
 
 /// Rule ID.
 pub const ID: &str = "IOTSE-P08";
 /// One-line summary for `explain`.
-pub const SUMMARY: &str = "every pub item in crates/core must have a /// doc comment";
-
-/// Item keywords that introduce a documentable public item.
-const ITEMS: &[&str] = &[
-    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
-];
-/// Modifiers that may sit between `pub` and the item keyword.
-const MODIFIERS: &[&str] = &["async", "unsafe", "extern", "\"C\""];
+pub const SUMMARY: &str = "every effectively-public item in crates/core needs a /// doc comment";
 
 /// Runs the rule over one file.
 pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     if file.kind != FileKind::Lib || file.crate_name != "core" {
         return;
     }
-    for (i, line) in file.code.iter().enumerate() {
-        let lineno = i + 1;
-        if file.in_test_span(lineno) {
-            continue;
-        }
-        let Some((item, name)) = pub_item(line) else {
-            continue;
-        };
+    let parsed = crate::parse::ParsedFile::parse(file);
+    let mut targets: Vec<(&'static str, &str, usize)> = parsed
+        .items
+        .iter()
+        .filter(|i| i.vis == Vis::Pub && i.public_path && !i.is_test)
+        .map(|i| (i.kind, i.name.as_str(), i.line))
+        .chain(
+            parsed
+                .fns
+                .iter()
+                .filter(|f| f.vis == Vis::Pub && f.public_path && !f.is_test)
+                .map(|f| ("fn", f.name.as_str(), f.line)),
+        )
+        .collect();
+    targets.sort_by_key(|&(_, _, line)| line);
+    for (kind, name, line) in targets {
         // `pub mod x;` is documented by x.rs's own `//!` header.
-        if item == "mod" && line.trim_end().ends_with(';') {
+        if kind == "mod"
+            && file
+                .code
+                .get(line - 1)
+                .is_some_and(|l| l.trim_end().ends_with(';'))
+        {
             continue;
         }
-        if !documented(file, i) {
+        if !documented(file, line - 1) {
             out.push(Finding::new(
                 file,
-                lineno,
+                line,
                 ID,
-                format!("public {item} `{name}` lacks a doc comment (///)"),
+                format!("public {kind} `{name}` lacks a doc comment (///)"),
             ));
         }
     }
-}
-
-/// If this code-view line declares a plain-`pub` item, returns
-/// `(item keyword, name)`.
-fn pub_item(line: &str) -> Option<(&'static str, String)> {
-    let rest = line.trim().strip_prefix("pub ")?;
-    let toks: Vec<&str> = rest.split_whitespace().collect();
-    let mut i = 0;
-    while toks.get(i).is_some_and(|t| MODIFIERS.contains(t)) {
-        i += 1;
-    }
-    let item: &'static str = match *toks.get(i)? {
-        "const" if toks.get(i + 1) == Some(&"fn") => "fn",
-        t => ITEMS.iter().find(|&&k| k == t)?,
-    };
-    if item == "fn" && toks.get(i) == Some(&"const") {
-        i += 1;
-    }
-    let name = toks
-        .get(i + 1)?
-        .trim_end_matches(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .next()
-        .unwrap_or("")
-        .to_string();
-    if name.is_empty() {
-        return None;
-    }
-    Some((item, name))
 }
 
 /// Walks upward over attribute lines looking for a `///` or `#[doc`.
@@ -106,45 +86,52 @@ fn documented(file: &SourceFile, mut idx: usize) -> bool {
 mod tests {
     use super::*;
 
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
     #[test]
-    fn recognizes_pub_items() {
-        assert_eq!(
-            pub_item("pub fn run(x: u8) {"),
-            Some(("fn", "run".to_string()))
+    fn undocumented_pub_items_are_flagged() {
+        let out = findings("pub struct A;\n/// Documented.\npub struct B;\npub fn go() {}\n");
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("`A`"));
+        assert!(out[1].message.contains("`go`"));
+    }
+
+    #[test]
+    fn restricted_visibility_is_not_public_api() {
+        let out = findings(
+            "pub(crate) struct Hidden;\npub(super) fn helper() {}\npub(crate) const N: u8 = 1;\n",
         );
-        assert_eq!(
-            pub_item("pub struct Hub {"),
-            Some(("struct", "Hub".to_string()))
-        );
-        assert_eq!(
-            pub_item("pub const MAX: usize = 3;"),
-            Some(("const", "MAX".to_string()))
-        );
-        assert_eq!(
-            pub_item("pub const fn zero() -> u8 {"),
-            Some(("fn", "zero".to_string()))
-        );
-        assert_eq!(pub_item("pub use crate::x;"), None);
-        assert_eq!(pub_item("pub(crate) fn hidden() {}"), None);
-        assert_eq!(pub_item("let x = 1;"), None);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn pub_items_in_private_modules_are_not_public_api() {
+        let out = findings("mod inner {\n    pub fn helper() {}\n    pub struct S;\n}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn pub_items_in_pub_modules_are_flagged() {
+        let out = findings("/// Docs.\npub mod inner {\n    pub fn helper() {}\n}\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`helper`"));
     }
 
     #[test]
     fn external_mod_decls_are_exempt() {
-        let src = "pub mod admission;\npub mod inline { }";
-        let f = SourceFile::parse("crates/core/src/lib.rs", src);
-        let mut out = Vec::new();
-        check(&f, &mut out);
+        let out = findings("pub mod admission;\npub mod inline { }\n");
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("`inline`"));
     }
 
     #[test]
     fn doc_detection_walks_over_attributes() {
-        let src = "/// Documented.\n#[derive(Debug)]\npub struct A;\npub struct B;";
-        let f = SourceFile::parse("crates/core/src/x.rs", src);
-        let mut out = Vec::new();
-        check(&f, &mut out);
+        let out = findings("/// Documented.\n#[derive(Debug)]\npub struct A;\npub struct B;\n");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].line, 4);
         assert!(out[0].message.contains("`B`"));

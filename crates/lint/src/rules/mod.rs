@@ -3,7 +3,9 @@
 //! Each rule is one module exporting an `ID`, a short `SUMMARY`, and a
 //! `check` function. Per-file rules take one [`SourceFile`]; the
 //! paper-constant audit ([`table1`]) takes the whole workspace because it
-//! joins sources against `specs/table1.toml`.
+//! joins sources against `specs/table1.toml`; the call-graph rules
+//! ([`memo_purity`], [`seed_streams`], [`hot_path`]) take the
+//! [`crate::Analysis`] built from the symbol-table/effect pipeline.
 //!
 //! | ID | rule |
 //! |----|------|
@@ -17,14 +19,22 @@
 //! | `IOTSE-P08` | public items in `core` need doc comments |
 //! | `IOTSE-M09` | metric/span labels must match `iotse_<crate>_<name>` |
 //! | `IOTSE-K10` | kernel `Vec` allocations need a `// lint:` justification |
+//! | `IOTSE-M11` | memoizable kernels must be transitively pure |
+//! | `IOTSE-S12` | `SeedTree` split labels must be auditable and disjoint |
+//! | `IOTSE-H13` | hot-path functions must be transitively allocation-free |
+//!
+//! [`SourceFile`]: crate::scan::SourceFile
 
 pub mod allow_inventory;
 pub mod ambient;
 pub mod casts;
 pub mod doc_coverage;
 pub mod hash_iter;
+pub mod hot_path;
 pub mod kernel_alloc;
+pub mod memo_purity;
 pub mod metric_names;
+pub mod seed_streams;
 pub mod table1;
 pub mod unwrap_panic;
 pub mod wallclock;
@@ -47,4 +57,149 @@ pub const ALL: &[(&str, &str)] = &[
     (doc_coverage::ID, doc_coverage::SUMMARY),
     (metric_names::ID, metric_names::SUMMARY),
     (kernel_alloc::ID, kernel_alloc::SUMMARY),
+    (memo_purity::ID, memo_purity::SUMMARY),
+    (seed_streams::ID, seed_streams::SUMMARY),
+    (hot_path::ID, hot_path::SUMMARY),
 ];
+
+/// `(id, kind, rationale)` — the catalogue detail behind `rules
+/// --markdown`. `kind` names the analysis depth (token scan vs
+/// call-graph); `rationale` says what breaks when the rule is violated.
+pub const DETAILS: &[(&str, &str, &str)] = &[
+    (
+        "IOTSE-W01",
+        "token scan",
+        "`Instant`/`SystemTime` reads outside the bench stopwatch make replays irreproducible; all simulated time flows from `SimTime`.",
+    ),
+    (
+        "IOTSE-D02",
+        "token scan",
+        "`HashMap`/`HashSet` iteration order varies per process, so any output derived from it breaks bitwise determinism in the model crates; use the `BTree` forms.",
+    ),
+    (
+        "IOTSE-D03",
+        "token scan",
+        "`static mut`, thread-local RNG, and `std::env` reads smuggle ambient state into runs, so the same seed stops producing the same trace.",
+    ),
+    (
+        "IOTSE-E04",
+        "token scan",
+        "a panicking library path aborts a fleet run mid-experiment and loses the energy ledger; model crates must return errors instead.",
+    ),
+    (
+        "IOTSE-C05",
+        "token scan",
+        "bare `as` casts silently saturate or truncate energy quantities; conversions in accounting code must be checked or documented.",
+    ),
+    (
+        "IOTSE-T06",
+        "workspace audit",
+        "paper constants quoted in code must match `specs/table1.toml`, the single ground truth for Table I, or the reproduction drifts from the paper.",
+    ),
+    (
+        "IOTSE-A07",
+        "token scan",
+        "every `#[allow(..)]` must carry a `// lint: <reason>` justification so suppressions stay an auditable inventory, not a leak.",
+    ),
+    (
+        "IOTSE-P08",
+        "item parse",
+        "public API items in `core` need doc comments; effective visibility is computed from the item parse, so `pub(crate)`/`pub(super)` items and `pub` items inside private modules are not counted as public API.",
+    ),
+    (
+        "IOTSE-M09",
+        "token scan",
+        "metric and span labels must match `iotse_<crate>_<name>` so the observability namespace stays greppable and collision-free.",
+    ),
+    (
+        "IOTSE-K10",
+        "token scan",
+        "`Vec` allocations in kernel hot paths need a `// lint: <reason>` justification; the scratch-arena work keeps steady-state windows allocation-free.",
+    ),
+    (
+        "IOTSE-M11",
+        "call graph",
+        "a `Workload` whose `memoizable()` returns `true` must be transitively pure from `compute` — no RNG draws, no `static mut`, no interior-mutability writes, no wall clock — or `compute_cache` replays stale outputs; violations print the call path to the offending primitive.",
+    ),
+    (
+        "IOTSE-S12",
+        "call graph",
+        "every `SeedTree` split label is resolved statically (literals, `format!` templates with placeholders normalized to `{*}`, `let`/field-traced namespaces); two consuming splits (`stream`/`streams`/`child`) on one full path mean correlated RNG streams and are rejected, as are labels that cannot be audited at all.",
+    ),
+    (
+        "IOTSE-H13",
+        "call graph",
+        "functions annotated `// iotse-lint: hot-path` must have an allocation-free transitive call graph; deliberate allocations are waived site-by-site with `// lint: <reason>`, turning the bench alloc counters into a structural guarantee.",
+    ),
+];
+
+/// Renders the rule catalogue as the markdown document committed at
+/// `crates/lint/RULES.md`. CI regenerates it and fails on drift, so the
+/// checked-in file always matches the compiled rule set.
+#[must_use]
+pub fn catalogue_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("# iotse-lint rules\n\n");
+    out.push_str(
+        "Generated by `iotse-lint rules --markdown` — do not edit by hand.\n\
+         Regenerate with:\n\n\
+         ```sh\n\
+         cargo run -p iotse-lint -- rules --markdown > crates/lint/RULES.md\n\
+         ```\n\n",
+    );
+    out.push_str("| ID | analysis | summary |\n|----|----------|---------|\n");
+    for (id, summary) in ALL {
+        let kind = DETAILS
+            .iter()
+            .find(|(did, _, _)| did == id)
+            .map_or("", |&(_, kind, _)| kind);
+        out.push_str(&format!("| `{id}` | {kind} | {summary} |\n"));
+    }
+    out.push('\n');
+    for (id, kind, rationale) in DETAILS {
+        let summary = ALL
+            .iter()
+            .find(|(aid, _)| aid == id)
+            .map_or("", |&(_, s)| s);
+        out.push_str(&format!(
+            "## `{id}` — {summary}\n\n*Analysis:* {kind}.\n\n{rationale}\n\n"
+        ));
+    }
+    // Suppression and justification conventions apply uniformly.
+    out.push_str(
+        "## Suppressions\n\n\
+         Any finding can be waived with `// iotse-lint: allow(<RULE-ID>)` on\n\
+         the finding's line or the line above it. Allocation rules\n\
+         (`IOTSE-K10`, `IOTSE-H13`) additionally accept a `// lint: <reason>`\n\
+         justification at the allocation site itself, which waives the site\n\
+         for every caller; `IOTSE-A07` keeps the `#[allow]` inventory honest\n\
+         the same way. Hot paths are declared with `// iotse-lint: hot-path`\n\
+         above the function (attributes and doc comments may sit between).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn details_cover_every_rule_in_order() {
+        assert_eq!(ALL.len(), DETAILS.len());
+        for ((aid, _), (did, _, _)) in ALL.iter().zip(DETAILS.iter()) {
+            assert_eq!(aid, did);
+        }
+    }
+
+    #[test]
+    fn catalogue_lists_every_rule() {
+        let md = catalogue_markdown();
+        for (id, _) in ALL {
+            assert!(
+                md.contains(&format!("| `{id}` |")),
+                "{id} missing from table"
+            );
+            assert!(md.contains(&format!("## `{id}`")), "{id} missing a section");
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The workspace-wide symbol table.
+//!
+//! Every library-code function parsed by [`crate::parse`] becomes one
+//! [`FnInfo`] node, indexed three ways for call resolution:
+//!
+//! * **bare name** — free functions, for `helper(..)` calls;
+//! * **`(type, name)`** — associated functions and methods, for
+//!   `Type::assoc(..)` and `Self::assoc(..)` calls;
+//! * **method name** — functions with a `self` receiver, for `.method(..)`
+//!   calls, whose receiver type the analyzer does not know.
+//!
+//! Resolution is name-based and therefore an *over*-approximation: a
+//! `.sample(..)` call links to every workspace `sample` method its crate
+//! can see. That direction is safe for the purity/allocation rules (extra
+//! edges can only add effects, never hide them); the dependency filter
+//! below (parsed from the `Cargo.toml` graph, when present) keeps the
+//! over-approximation from crossing crate boundaries that the compiler
+//! itself would reject.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::parse::{FnItem, ParsedFile};
+use crate::scan::{FileKind, SourceFile};
+
+/// One file and its parse, paired for the analysis passes.
+#[derive(Debug)]
+pub struct FileUnit<'a> {
+    /// The lexical views.
+    pub src: &'a SourceFile,
+    /// The item parse.
+    pub parsed: ParsedFile,
+}
+
+/// Identifies one function node: `(file index, fn index within file)`
+/// flattened into the global `fns` vector.
+pub type FnId = usize;
+
+/// One function known to the symbol table.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Index into [`Symbols::units`].
+    pub file: usize,
+    /// Index into that unit's `parsed.fns`.
+    pub local: usize,
+    /// Bare name.
+    pub name: String,
+    /// Implementing type (or trait) name, if defined inside an
+    /// `impl`/`trait` block.
+    pub owner_ty: Option<String>,
+    /// Owning crate (directory under `crates/`).
+    pub crate_name: String,
+    /// `true` when the signature takes a `self` receiver.
+    pub is_method: bool,
+}
+
+/// The symbol table over every library-code function in the tree.
+#[derive(Debug)]
+pub struct Symbols<'a> {
+    /// All parsed files (every kind — rules pick what they need).
+    pub units: Vec<FileUnit<'a>>,
+    /// Flattened function nodes (library, non-test code only).
+    pub fns: Vec<FnInfo>,
+    by_bare: BTreeMap<String, Vec<FnId>>,
+    by_assoc: BTreeMap<(String, String), Vec<FnId>>,
+    by_method: BTreeMap<String, Vec<FnId>>,
+    /// Transitive `Cargo.toml` dependency closure per crate; `None` when
+    /// no manifests were found (fixture trees), which disables the filter.
+    deps: Option<BTreeMap<String, BTreeSet<String>>>,
+}
+
+impl<'a> Symbols<'a> {
+    /// Parses every file and builds the table. `root` is only used to look
+    /// for `crates/*/Cargo.toml` manifests; a tree without manifests gets
+    /// no dependency filtering.
+    #[must_use]
+    pub fn build(root: &Path, files: &'a [SourceFile]) -> Symbols<'a> {
+        let units: Vec<FileUnit<'a>> = files
+            .iter()
+            .map(|src| FileUnit {
+                src,
+                parsed: ParsedFile::parse(src),
+            })
+            .collect();
+        let mut fns = Vec::new();
+        let mut by_bare: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut by_assoc: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+        let mut by_method: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, unit) in units.iter().enumerate() {
+            if unit.src.kind != FileKind::Lib {
+                continue;
+            }
+            for (li, f) in unit.parsed.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let id = fns.len();
+                let owner_ty = f
+                    .owner
+                    .map(|oi| unit.parsed.impls[oi].ty.clone())
+                    .filter(|t| !t.is_empty());
+                let is_method = sig_has_self_receiver(&f.sig);
+                if let Some(ty) = &owner_ty {
+                    by_assoc
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                    if is_method {
+                        by_method.entry(f.name.clone()).or_default().push(id);
+                    }
+                } else {
+                    by_bare.entry(f.name.clone()).or_default().push(id);
+                }
+                fns.push(FnInfo {
+                    file: fi,
+                    local: li,
+                    name: f.name.clone(),
+                    owner_ty,
+                    crate_name: unit.src.crate_name.clone(),
+                    is_method,
+                });
+            }
+        }
+        Symbols {
+            units,
+            fns,
+            by_bare,
+            by_assoc,
+            by_method,
+            deps: crate_deps(root),
+        }
+    }
+
+    /// The node for `(file index, local fn index)`, when it is in the
+    /// table (library, non-test code).
+    #[must_use]
+    pub fn id_of(&self, file: usize, local: usize) -> Option<FnId> {
+        self.fns
+            .iter()
+            .position(|f| f.file == file && f.local == local)
+    }
+
+    /// The parsed [`FnItem`] behind a node.
+    #[must_use]
+    pub fn item(&self, id: FnId) -> &FnItem {
+        let info = &self.fns[id];
+        &self.units[info.file].parsed.fns[info.local]
+    }
+
+    /// The source file a node lives in.
+    #[must_use]
+    pub fn src(&self, id: FnId) -> &SourceFile {
+        self.units[self.fns[id].file].src
+    }
+
+    /// `Type::name` or bare `name` — how a node prints in finding paths.
+    #[must_use]
+    pub fn display(&self, id: FnId) -> String {
+        let info = &self.fns[id];
+        match &info.owner_ty {
+            Some(ty) => format!("{ty}::{}", info.name),
+            None => info.name.clone(),
+        }
+    }
+
+    /// `true` if code in `from` may call into `to` per the manifest graph
+    /// (always `true` when no manifests were found).
+    #[must_use]
+    pub fn visible(&self, from: &str, to: &str) -> bool {
+        if from == to || from == "iotse" {
+            return true;
+        }
+        match &self.deps {
+            None => true,
+            Some(deps) => deps.get(from).is_some_and(|d| d.contains(to)),
+        }
+    }
+
+    fn filter_visible(&self, from_crate: &str, ids: &[FnId]) -> Vec<FnId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| self.visible(from_crate, &self.fns[id].crate_name))
+            .collect()
+    }
+
+    /// Candidates for a plain `name(..)` call from `from_crate`.
+    #[must_use]
+    pub fn resolve_bare(&self, from_crate: &str, name: &str) -> Vec<FnId> {
+        self.by_bare
+            .get(name)
+            .map_or_else(Vec::new, |ids| self.filter_visible(from_crate, ids))
+    }
+
+    /// Candidates for a `Qual::name(..)` call. `self_ty` is the enclosing
+    /// impl's type, for `Self::` resolution. Unknown qualifiers fall back
+    /// to bare-name resolution (module paths like `rng::splitmix64`).
+    #[must_use]
+    pub fn resolve_qualified(
+        &self,
+        from_crate: &str,
+        qual: &str,
+        name: &str,
+        self_ty: Option<&str>,
+    ) -> Vec<FnId> {
+        let ty = if qual == "Self" {
+            match self_ty {
+                Some(t) => t,
+                None => return Vec::new(),
+            }
+        } else {
+            qual
+        };
+        if let Some(ids) = self.by_assoc.get(&(ty.to_string(), name.to_string())) {
+            return self.filter_visible(from_crate, ids);
+        }
+        // Module-qualified free function (`rng::splitmix64(..)`).
+        self.resolve_bare(from_crate, name)
+    }
+
+    /// The base type name of `owner.field`, from the recorded struct
+    /// fields (`rng: SimRng` → `SimRng`, `seeds: &'a SeedTree` →
+    /// `SeedTree`, `faults: Option<FaultPlan>` → `FaultPlan`). Used to pin
+    /// `self.field.method(..)` calls: common `std` wrappers are stepped
+    /// over so the workspace payload type wins.
+    #[must_use]
+    pub fn field_type(&self, owner: &str, field: &str) -> Option<String> {
+        const WRAPPERS: &[&str] = &[
+            "Box",
+            "Rc",
+            "Arc",
+            "Option",
+            "Vec",
+            "VecDeque",
+            "BinaryHeap",
+            "RefCell",
+            "Cell",
+            "Mutex",
+        ];
+        for unit in &self.units {
+            for f in &unit.parsed.fields {
+                if f.owner == owner && f.name == field {
+                    let mut names =
+                        f.ty.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                            .filter(|t| t.chars().next().is_some_and(char::is_uppercase));
+                    let first = names.next()?;
+                    if WRAPPERS.contains(&first) {
+                        return Some(names.next().unwrap_or(first).to_string());
+                    }
+                    return Some(first.to_string());
+                }
+            }
+        }
+        None
+    }
+
+    /// Candidates for a `.name(..)` method call (receiver type unknown).
+    #[must_use]
+    pub fn resolve_method(&self, from_crate: &str, name: &str) -> Vec<FnId> {
+        self.by_method
+            .get(name)
+            .map_or_else(Vec::new, |ids| self.filter_visible(from_crate, ids))
+    }
+}
+
+/// `true` if a signature's parameter list starts with a `self` receiver.
+fn sig_has_self_receiver(sig: &str) -> bool {
+    let Some(open) = sig.find('(') else {
+        return false;
+    };
+    let head = &sig[open + 1..];
+    let head = head.trim_start_matches(['&', ' ']);
+    let head = head.strip_prefix("mut ").unwrap_or(head);
+    // A lifetime may sit between `&` and `self` (`&'a self`).
+    let head = match head.strip_prefix('\'') {
+        Some(rest) => rest
+            .split_once(' ')
+            .map_or("", |(_, r)| r)
+            .trim_start_matches(['&', ' ']),
+        None => head,
+    };
+    head == "self"
+        || head.starts_with("self ")
+        || head.starts_with("self,")
+        || head.starts_with("self)")
+}
+
+/// Parses `crates/*/Cargo.toml` into a transitively-closed dependency map
+/// (crate directory names). Returns `None` when no manifest exists under
+/// `root` — fixture trees are analyzed without the visibility filter.
+fn crate_deps(root: &Path) -> Option<BTreeMap<String, BTreeSet<String>>> {
+    let crates_dir = root.join("crates");
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let entries = std::fs::read_dir(&crates_dir).ok()?;
+    let mut names: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    for name in &names {
+        let manifest = crates_dir.join(name).join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        direct.insert(name.clone(), manifest_deps(&text));
+    }
+    if direct.is_empty() {
+        return None;
+    }
+    // Transitive closure (the graph is tiny).
+    let mut closed = direct.clone();
+    loop {
+        let mut changed = false;
+        for name in &names {
+            let Some(cur) = closed.get(name).cloned() else {
+                continue;
+            };
+            let mut next = cur.clone();
+            for dep in &cur {
+                if let Some(dd) = closed.get(dep) {
+                    next.extend(dd.iter().cloned());
+                }
+            }
+            if next.len() != cur.len() {
+                closed.insert(name.clone(), next);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(closed);
+        }
+    }
+}
+
+/// Extracts `iotse-*` dependency names (as crate directory names) from a
+/// manifest's `[dependencies]`/`[dev-dependencies]` sections.
+fn manifest_deps(text: &str) -> BTreeSet<String> {
+    let mut deps = BTreeSet::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line.starts_with("[dependencies") || line.starts_with("[dev-dependencies");
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(name) = line.split(['=', ' ', '.']).next() {
+            if let Some(short) = name.trim().strip_prefix("iotse-") {
+                deps.insert(short.to_string());
+            }
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(files: &[SourceFile]) -> Symbols<'_> {
+        Symbols::build(Path::new("/nonexistent"), files)
+    }
+
+    #[test]
+    fn free_assoc_and_method_indexes() {
+        let files = vec![SourceFile::parse(
+            "crates/core/src/x.rs",
+            "pub fn free() {}\nstruct S;\nimpl S {\n    pub fn assoc() {}\n    pub fn m(&self) {}\n}\n",
+        )];
+        let t = table(&files);
+        assert_eq!(t.fns.len(), 3);
+        assert_eq!(t.resolve_bare("core", "free").len(), 1);
+        assert_eq!(t.resolve_qualified("core", "S", "assoc", None).len(), 1);
+        assert_eq!(t.resolve_method("core", "m").len(), 1);
+        assert!(
+            t.resolve_method("core", "assoc").is_empty(),
+            "no self receiver"
+        );
+        assert_eq!(t.display(t.resolve_method("core", "m")[0]), "S::m");
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_through_the_impl_type() {
+        let files = vec![SourceFile::parse(
+            "crates/core/src/x.rs",
+            "struct S;\nimpl S {\n    fn a() {}\n}\n",
+        )];
+        let t = table(&files);
+        assert_eq!(t.resolve_qualified("core", "Self", "a", Some("S")).len(), 1);
+        assert!(t.resolve_qualified("core", "Self", "a", None).is_empty());
+    }
+
+    #[test]
+    fn tests_and_non_lib_files_stay_out_of_the_table() {
+        let files = vec![
+            SourceFile::parse(
+                "crates/core/src/x.rs",
+                "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+            ),
+            SourceFile::parse("crates/bench/src/bin/b.rs", "fn main() {}\n"),
+            SourceFile::parse("crates/core/tests/it.rs", "fn helper() {}\n"),
+        ];
+        let t = table(&files);
+        assert!(t.fns.is_empty());
+    }
+
+    #[test]
+    fn self_receiver_detection() {
+        assert!(sig_has_self_receiver("fn m(&self)"));
+        assert!(sig_has_self_receiver("fn m(&mut self, x: u8)"));
+        assert!(sig_has_self_receiver("fn m(self)"));
+        assert!(sig_has_self_receiver("fn m(&'a self)"));
+        assert!(!sig_has_self_receiver("fn m(selfish: u8)"));
+        assert!(!sig_has_self_receiver("fn m(x: &Self)"));
+    }
+
+    #[test]
+    fn manifest_deps_parse_iotse_paths() {
+        let text = "[package]\nname = \"iotse-core\"\n[dependencies]\niotse-sim.workspace = true\niotse-sensors = { path = \"../sensors\" }\nserde = \"1\"\n";
+        let d = manifest_deps(text);
+        assert_eq!(
+            d.into_iter().collect::<Vec<_>>(),
+            vec!["sensors".to_string(), "sim".to_string()]
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Determinism property: the analyzer's report is a pure function of the
+//! file *set* — two runs are byte-identical, and discovery order must not
+//! matter. The call-graph passes make this worth guarding: symbol-table
+//! indexes, fan-out resolution, and BFS witnesses all iterate over
+//! containers whose construction order follows file order.
+
+use std::path::PathBuf;
+
+use iotse_lint::{check_files, report, scan_workspace};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Deterministic Fisher–Yates driven by a fixed LCG, so the "shuffled"
+/// order is stable across runs but thoroughly unlike the sorted one.
+fn shuffle<T>(items: &mut [T], mut state: u64) {
+    for i in (1..items.len()).rev() {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let j = (state >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn two_runs_are_byte_identical() {
+    let root = fixtures_root();
+    let a = check_files(&root, scan_workspace(&root).expect("scan"));
+    let b = check_files(&root, scan_workspace(&root).expect("scan"));
+    assert_eq!(report::json(&a), report::json(&b));
+    assert_eq!(report::text(&a), report::text(&b));
+}
+
+#[test]
+fn file_discovery_order_does_not_matter() {
+    let root = fixtures_root();
+    let baseline = report::json(&check_files(&root, scan_workspace(&root).expect("scan")));
+    for seed in [1u64, 42, 0xDEAD_BEEF] {
+        let mut files = scan_workspace(&root).expect("scan");
+        shuffle(&mut files, seed);
+        let shuffled = report::json(&check_files(&root, files));
+        assert_eq!(
+            baseline, shuffled,
+            "report depends on file order (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn reversed_order_matches_too() {
+    let root = fixtures_root();
+    let baseline = report::json(&check_files(&root, scan_workspace(&root).expect("scan")));
+    let mut files = scan_workspace(&root).expect("scan");
+    files.reverse();
+    assert_eq!(baseline, report::json(&check_files(&root, files)));
+}

@@ -1,0 +1,48 @@
+//! `IOTSE-M11` fixtures: kernels that claim memoizability while drawing
+//! randomness through the call graph.
+
+/// Claims memoizability but draws from the RNG — M11 must fire.
+pub struct NoisyKernel {
+    rng: SimRng,
+}
+
+impl Workload for NoisyKernel {
+    fn memoizable(&self) -> bool {
+        true
+    }
+
+    fn compute(&mut self, _data: &WindowData) -> AppOutput {
+        AppOutput::Steps(self.rng.next_u64())
+    }
+}
+
+/// The same impurity, waived at the compute site — M11 must stay silent.
+pub struct WaivedKernel {
+    rng: SimRng,
+}
+
+impl Workload for WaivedKernel {
+    fn memoizable(&self) -> bool {
+        true
+    }
+
+    // iotse-lint: allow(IOTSE-M11)
+    fn compute(&mut self, _data: &WindowData) -> AppOutput {
+        AppOutput::Steps(self.rng.next_u64())
+    }
+}
+
+/// Honest about its impurity: not memoizable, so M11 has nothing to say.
+pub struct HonestKernel {
+    rng: SimRng,
+}
+
+impl Workload for HonestKernel {
+    fn memoizable(&self) -> bool {
+        false
+    }
+
+    fn compute(&mut self, _data: &WindowData) -> AppOutput {
+        AppOutput::Steps(self.rng.next_u64())
+    }
+}

@@ -1,0 +1,38 @@
+//! `IOTSE-H13` fixtures: annotated hot paths whose transitive call
+//! graphs allocate — plus effective-visibility entries that `IOTSE-P08`
+//! must leave alone.
+
+/// Steady-state step that must stay allocation-free — H13 must fire on
+/// the unjustified `vec!` it reaches through `refill`.
+// iotse-lint: hot-path
+pub fn tick_step(buf: &mut Vec<u8>) {
+    refill(buf);
+}
+
+fn refill(buf: &mut Vec<u8>) {
+    let staged = vec![0u8; 16];
+    buf.extend_from_slice(&staged);
+}
+
+/// The same reach, waived at the annotation — H13 must stay silent.
+// iotse-lint: hot-path
+// iotse-lint: allow(IOTSE-H13)
+pub fn tick_step_waived(buf: &mut Vec<u8>) {
+    refill(buf);
+}
+
+// Restricted visibility is not public API: P08 must not ask for docs.
+pub(crate) struct ScratchIndex {
+    pub(crate) slots: usize,
+}
+
+pub(crate) fn reserve(index: &mut ScratchIndex) {
+    index.slots += 1;
+}
+
+// A `pub` item inside a private module is not public API either.
+mod internal {
+    pub fn helper() -> usize {
+        7
+    }
+}

@@ -1,0 +1,25 @@
+//! `IOTSE-S12` fixtures: seed-stream splits whose labels collide or
+//! cannot be audited statically.
+
+fn colliding(seeds: &SeedTree) {
+    let _a = seeds.stream("dup/label");
+    let _b = seeds.stream("dup/label");
+}
+
+fn waived(seeds: &SeedTree) {
+    let _a = seeds.stream("quiet/label");
+    // iotse-lint: allow(IOTSE-S12)
+    let _b = seeds.stream("quiet/label");
+}
+
+fn dynamic(seeds: &SeedTree, name: &str) {
+    let _ = seeds.stream(name);
+}
+
+fn disjoint(seeds: &SeedTree) {
+    let faults = seeds.child("fixture-faults");
+    let _a = faults.stream("drop");
+    let _b = faults.stream("stuck");
+    // `derive` is the non-consuming cache-key twin of `stream`.
+    let _k = seeds.derive("dup/label");
+}

@@ -1,0 +1,18 @@
+//! Fixture twin of the deterministic RNG: every fn defined in a
+//! `src/rng.rs` file is an RNG intrinsic to the effect analysis.
+
+/// A tiny deterministic generator.
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Advances the stream and returns the next draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.state
+    }
+}

@@ -83,6 +83,7 @@ impl FingerTemplate {
     /// padded.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        // lint: encode returns the owned fixed-size signature buffer
         let mut out = vec![0u8; SIGNATURE_BYTES];
         out[0..4].copy_from_slice(&self.person.to_le_bytes());
         out[4] = self.minutiae.len() as u8;

@@ -184,6 +184,7 @@ impl<S> Engine<S> {
     /// # Panics
     ///
     /// Panics if `time` is earlier than [`Engine::now`].
+    // iotse-lint: hot-path
     pub fn schedule_call(
         &mut self,
         time: SimTime,
@@ -217,6 +218,7 @@ impl<S> Engine<S> {
     /// # Panics
     ///
     /// Panics if any time is earlier than [`Engine::now`].
+    // iotse-lint: hot-path
     pub fn schedule_call_batch(
         &mut self,
         label: &'static str,

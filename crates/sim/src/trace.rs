@@ -167,6 +167,7 @@ impl FieldList {
                     buf[*len as usize] = pair;
                     *len += 1;
                 } else {
+                    // lint: cold spill past the inline capacity (> FIELDS_INLINE pairs)
                     let mut spilled = buf.to_vec();
                     spilled.push(pair);
                     self.0 = FieldStore::Heap(spilled);
@@ -310,7 +311,9 @@ impl LabelTable {
             return Label(i);
         }
         let i = self.strings.len() as u32;
+        // lint: interning allocates once per distinct label, then hits the map
         self.strings.push(s.to_string());
+        // lint: second owned copy keys the lookup map, same once-per-label cost
         self.index.insert(s.to_string(), i);
         Label(i)
     }
@@ -546,6 +549,7 @@ impl TraceLog {
         let fields: FieldList = fields
             .iter()
             .map(|&(name, value)| (self.labels.intern(name), value))
+            // lint: runs only when a trace sink is enabled (early return above)
             .collect();
         self.events.push(TraceEvent {
             time,
