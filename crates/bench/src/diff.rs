@@ -1,0 +1,377 @@
+//! Run-diff regression tooling: compare two telemetry-carrying runs.
+//!
+//! The `inspect diff` subcommand compares a *base* run against a *vs* run
+//! — scheme vs scheme, seed vs seed, clean vs faulted, or a saved
+//! baseline JSON vs the current build — and prints a ranked table of
+//! per-routine energy deltas with each side's drift verdict. Both sides
+//! reduce to a [`TelemetrySummary`] first, so a run from ten minutes ago
+//! (saved with `--save`) diffs exactly like a live one.
+//!
+//! Everything here is a pure function of the two summaries: the table is
+//! byte-identical across repeated runs and `--jobs` levels (CI diffs the
+//! jobs-1 and jobs-8 renderings directly), and a run diffed against
+//! itself reports zero deltas everywhere (golden-pinned in
+//! `tests/telemetry.rs`). Serialization rides the in-tree [`Json`]
+//! kernel's shortest-round-trip number form, so a summary survives a
+//! save/load cycle bitwise.
+
+use std::fmt::Write as _;
+
+use iotse_apps::kernels::json::Json;
+use iotse_core::RunResult;
+use iotse_energy::attribution::Routine;
+
+use crate::export::routine_key;
+use crate::inspect::{run, InspectRequest};
+
+/// One routine's share of a run, as the diff table sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutineSummary {
+    /// Short routine key (`interrupt`, `app_compute`, …).
+    pub routine: String,
+    /// The routine's total energy over the run, µJ (bitwise equal to the
+    /// ledger total — the stack series fold exactly).
+    pub total_uj: f64,
+    /// CUSUM drift alerts the run's online detector raised on this
+    /// routine's windowed series.
+    pub drift_alerts: u64,
+}
+
+/// Everything `inspect diff` needs from one side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Human-readable side label, e.g. `com seed=42` or `com seed=42 +faults`.
+    pub label: String,
+    /// Windows on the telemetry grid.
+    pub windows: u32,
+    /// Per-routine totals and verdicts, [`Routine::ALL`] order.
+    pub routines: Vec<RoutineSummary>,
+    /// Budget-watchdog alerts over the run.
+    pub budget_alerts: u64,
+    /// Detector/watchdog update calls over the run.
+    pub detector_evals: u64,
+}
+
+impl TelemetrySummary {
+    /// Reduces a telemetry-carrying run to its diffable summary. Returns
+    /// `None` if the run was executed without `with_telemetry()`.
+    #[must_use]
+    pub fn from_result(result: &RunResult) -> Option<TelemetrySummary> {
+        let tel = result.telemetry.as_ref()?;
+        let drift = tel.drift_counts();
+        let routines = Routine::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &routine)| RoutineSummary {
+                routine: routine_key(routine).to_string(),
+                total_uj: tel.stacks.series(routine).fold_sum(),
+                drift_alerts: drift[i],
+            })
+            .collect();
+        let faulted = if result.faults.faults_injected > 0 {
+            " +faults"
+        } else {
+            ""
+        };
+        Some(TelemetrySummary {
+            label: format!("{} seed={}{}", result.scheme, result.seed, faulted),
+            windows: tel.stacks.windows(),
+            routines,
+            budget_alerts: tel.budget_alerts() as u64,
+            detector_evals: tel.detector_evals,
+        })
+    }
+
+    /// Total drift alerts across all routines.
+    #[must_use]
+    pub fn drift_alerts(&self) -> u64 {
+        self.routines.iter().map(|r| r.drift_alerts).sum()
+    }
+
+    /// Sum over the four workload routines (everything but `idle`).
+    #[must_use]
+    pub fn workload_uj(&self) -> f64 {
+        self.routines
+            .iter()
+            .filter(|r| r.routine != "idle")
+            .map(|r| r.total_uj)
+            .sum()
+    }
+
+    /// Serializes the summary as one line of deterministic JSON (plus a
+    /// trailing newline) — the `--save`/`--baseline` file format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut text = Json::object([
+            ("label", Json::String(self.label.clone())),
+            ("windows", Json::Number(f64::from(self.windows))),
+            (
+                "routines",
+                Json::array(self.routines.iter().map(|r| {
+                    Json::object([
+                        ("routine", Json::String(r.routine.clone())),
+                        ("total_uj", Json::Number(r.total_uj)),
+                        (
+                            "drift_alerts",
+                            // lint: alert counts are tiny (<= windows * routines)
+                            #[allow(clippy::cast_precision_loss)]
+                            Json::Number(r.drift_alerts as f64),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "budget_alerts",
+                // lint: alert counts are tiny (<= windows)
+                #[allow(clippy::cast_precision_loss)]
+                Json::Number(self.budget_alerts as f64),
+            ),
+            (
+                "detector_evals",
+                // lint: eval counts are tiny (windows * (routines + 1))
+                #[allow(clippy::cast_precision_loss)]
+                Json::Number(self.detector_evals as f64),
+            ),
+        ])
+        .to_text();
+        text.push('\n');
+        text
+    }
+
+    /// Parses a summary written by [`TelemetrySummary::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a missing field.
+    pub fn parse(text: &str) -> Result<TelemetrySummary, String> {
+        let doc = Json::parse(text).map_err(|e| format!("telemetry summary: {e:?}"))?;
+        let routines = doc
+            .get("routines")
+            .and_then(Json::as_array)
+            .ok_or("telemetry summary: missing routines array")?
+            .iter()
+            .map(|r| {
+                Ok(RoutineSummary {
+                    routine: str_field(r, "routine")?,
+                    total_uj: num_field(r, "total_uj")?,
+                    drift_alerts: u64_field(r, "drift_alerts")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(TelemetrySummary {
+            label: str_field(&doc, "label")?,
+            // lint: window counts are small positive integers
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            windows: num_field(&doc, "windows")? as u32,
+            routines,
+            budget_alerts: u64_field(&doc, "budget_alerts")?,
+            detector_evals: u64_field(&doc, "detector_evals")?,
+        })
+    }
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("telemetry summary: missing numeric field '{key}'"))
+}
+
+fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
+    let x = num_field(doc, key)?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(format!(
+            "telemetry summary: field '{key}' = {x} is not a count"
+        ));
+    }
+    // lint: the range/fract checks above make the cast exact
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(x as u64)
+}
+
+fn str_field(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("telemetry summary: missing string field '{key}'"))
+}
+
+/// The drift verdict column for one routine row.
+fn verdict(base_drift: u64, vs_drift: u64) -> &'static str {
+    match (base_drift > 0, vs_drift > 0) {
+        (false, false) => "ok",
+        (false, true) => "DRIFT(vs)",
+        (true, false) => "DRIFT(base)",
+        (true, true) => "DRIFT(both)",
+    }
+}
+
+/// Renders the ranked per-routine delta table between two summaries.
+///
+/// Rows sort by `|delta|` descending (stable, so exact ties keep
+/// [`Routine::ALL`] order); the footer carries the workload totals and
+/// each side's alert counts. A summary diffed against itself prints
+/// all-zero deltas and `ok` verdicts.
+#[must_use]
+pub fn render_diff(base: &TelemetrySummary, vs: &TelemetrySummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "run diff: base [{}] vs [{}]", base.label, vs.label);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>16} {:>16} {:>16} {:>9} {:>12}",
+        "routine", "base_uj", "vs_uj", "delta_uj", "delta_pct", "verdict"
+    );
+    let mut rows: Vec<(&RoutineSummary, &RoutineSummary)> = base
+        .routines
+        .iter()
+        .map(|b| {
+            let v = vs
+                .routines
+                .iter()
+                .find(|v| v.routine == b.routine)
+                .unwrap_or(b);
+            (b, v)
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        let da = (a.1.total_uj - a.0.total_uj).abs();
+        let db = (b.1.total_uj - b.0.total_uj).abs();
+        db.total_cmp(&da)
+    });
+    for (b, v) in rows {
+        let delta = v.total_uj - b.total_uj;
+        let pct = if b.total_uj == 0.0 {
+            if delta == 0.0 {
+                "0.0".to_string()
+            } else {
+                "inf".to_string()
+            }
+        } else {
+            format!("{:+.1}", delta / b.total_uj * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>16.3} {:>16.3} {:>+16.3} {:>9} {:>12}",
+            b.routine,
+            b.total_uj,
+            v.total_uj,
+            delta,
+            pct,
+            verdict(b.drift_alerts, v.drift_alerts)
+        );
+    }
+    let wb = base.workload_uj();
+    let wv = vs.workload_uj();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>16.3} {:>16.3} {:>+16.3}",
+        "workload",
+        wb,
+        wv,
+        wv - wb
+    );
+    let _ = writeln!(
+        out,
+        "alerts: base {} drift / {} budget, vs {} drift / {} budget",
+        base.drift_alerts(),
+        base.budget_alerts,
+        vs.drift_alerts(),
+        vs.budget_alerts
+    );
+    out
+}
+
+/// Runs both requests and renders their diff — the whole `inspect diff`
+/// subcommand as a library call, so tests can compare outputs across
+/// `--jobs` levels without spawning processes.
+///
+/// # Panics
+///
+/// Panics if either run carries no telemetry ([`run`] always enables it).
+#[must_use]
+pub fn diff_requests(base: &InspectRequest, vs: &InspectRequest) -> String {
+    let base_summary =
+        TelemetrySummary::from_result(&run(base)).expect("inspect runs carry telemetry");
+    let vs_summary = TelemetrySummary::from_result(&run(vs)).expect("inspect runs carry telemetry");
+    render_diff(&base_summary, &vs_summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotse_core::Scheme;
+
+    fn summary(interrupt_uj: f64, drift: u64) -> TelemetrySummary {
+        TelemetrySummary {
+            label: "test seed=1".into(),
+            windows: 4,
+            routines: Routine::ALL
+                .iter()
+                .map(|&r| RoutineSummary {
+                    routine: routine_key(r).to_string(),
+                    total_uj: if r == Routine::Interrupt {
+                        interrupt_uj
+                    } else {
+                        100.0
+                    },
+                    drift_alerts: if r == Routine::Interrupt { drift } else { 0 },
+                })
+                .collect(),
+            budget_alerts: 0,
+            detector_evals: 20,
+        }
+    }
+
+    #[test]
+    fn summary_json_round_trips_exactly() {
+        let s = summary(0.1 + 0.2, 1); // non-representable decimal on purpose
+        let text = s.to_json();
+        let back = TelemetrySummary::parse(&text).expect("parses");
+        assert_eq!(back, s, "shortest-round-trip floats must survive");
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(TelemetrySummary::parse("not json").is_err());
+        assert!(TelemetrySummary::parse("{}").is_err());
+        assert!(TelemetrySummary::parse(r#"{"label":"x","windows":1}"#).is_err());
+    }
+
+    #[test]
+    fn self_diff_is_all_zero() {
+        let s = summary(5000.0, 0);
+        let table = render_diff(&s, &s);
+        for line in table.lines().skip(2).take(5) {
+            assert!(line.contains("+0.000"), "nonzero delta in {line}");
+            assert!(line.ends_with("ok"), "unexpected verdict in {line}");
+        }
+        assert!(table.contains("alerts: base 0 drift / 0 budget, vs 0 drift / 0 budget"));
+    }
+
+    #[test]
+    fn diff_ranks_by_delta_and_flags_drift() {
+        let base = summary(1000.0, 0);
+        let vs = summary(3_201_000.0, 1);
+        let table = render_diff(&base, &vs);
+        let first_row = table.lines().nth(2).expect("first data row");
+        assert!(
+            first_row.starts_with("interrupt"),
+            "largest delta must rank first: {first_row}"
+        );
+        assert!(first_row.ends_with("DRIFT(vs)"), "{first_row}");
+        assert!(table.contains("alerts: base 0 drift / 0 budget, vs 1 drift / 0 budget"));
+    }
+
+    #[test]
+    fn live_diff_against_itself_reports_zero_deltas() {
+        let req = InspectRequest {
+            scheme: Scheme::Com,
+            windows: 2,
+            ..InspectRequest::default()
+        };
+        let table = diff_requests(&req, &req);
+        for line in table.lines().skip(2).take(5) {
+            assert!(line.contains("+0.000"), "nonzero delta in {line}");
+        }
+    }
+}

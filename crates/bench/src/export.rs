@@ -17,10 +17,21 @@
 
 use std::fmt::Write as _;
 
-use iotse_core::{Calibration, RunResult};
+use iotse_core::{Calibration, RunResult, Telemetry};
+use iotse_energy::attribution::Routine;
+use iotse_energy::stacks::stack_series_name;
 use iotse_sim::metrics::MetricsReport;
 use iotse_sim::time::SimTime;
 use iotse_sim::trace::FieldValue;
+
+/// The short routine key used in exported labels (`interrupt`,
+/// `app_compute`, …) — the series name minus its crate prefix and unit
+/// suffix.
+pub(crate) fn routine_key(routine: Routine) -> &'static str {
+    stack_series_name(routine)
+        .trim_start_matches("iotse_energy_stack_")
+        .trim_end_matches("_microjoules")
+}
 
 /// Escapes `s` for use inside a JSON string literal.
 fn json_escape(s: &str) -> String {
@@ -141,6 +152,46 @@ pub fn chrome_trace(result: &RunResult, cal: &Calibration) -> String {
         }
     }
 
+    if let Some(tel) = &result.telemetry {
+        // One stacked counter sample per window boundary carrying all five
+        // routine deltas — viewers render this as the run's stacked energy
+        // chart, the trace-side twin of the paper's per-routine bars.
+        let series = tel.stacks.all_series();
+        if let Some(first) = series.first() {
+            for (w, &(t, _)) in first.points().iter().enumerate() {
+                let mut args = String::new();
+                for (i, &routine) in Routine::ALL.iter().enumerate() {
+                    if i > 0 {
+                        args.push(',');
+                    }
+                    let _ = write!(
+                        args,
+                        "\"{}\":{:.3}",
+                        routine_key(routine),
+                        series[i].points()[w].1
+                    );
+                }
+                events.push(format!(
+                    "{{\"name\":\"energy_stack_uj\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                     \"args\":{{{args}}}}}",
+                    ts_micros(t)
+                ));
+            }
+        }
+        // Every detector alert becomes a global instant, visible as a
+        // marker at the boundary where it fired.
+        for alert in &tel.alerts {
+            events.push(format!(
+                "{{\"name\":\"telemetry_alert\",\"cat\":\"alert\",\"ph\":\"i\",\"ts\":{},\
+                 \"s\":\"g\",\"pid\":1,\"tid\":1,\
+                 \"args\":{{\"series\":\"{}\",\"detail\":\"{}\"}}}}",
+                ts_micros(alert.at),
+                json_escape(alert.series),
+                json_escape(&alert.to_string())
+            ));
+        }
+    }
+
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     for (i, e) in events.iter().enumerate() {
         out.push_str(e);
@@ -194,6 +245,87 @@ pub fn prometheus(report: &MetricsReport) -> String {
         let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", hist.name, hist.count);
         let _ = writeln!(out, "{}_sum {}", hist.name, prom_number(hist.sum));
         let _ = writeln!(out, "{}_count {}", hist.name, hist.count);
+    }
+    out
+}
+
+/// Renders a run's windowed telemetry in the Prometheus text exposition
+/// format, for appending after [`prometheus`]: every stack and app series
+/// point becomes a `{window="N"}`-labeled gauge sample (app series carry
+/// an `app` label too), followed by a per-series alert count family.
+/// Everything is emitted in fixed order (routine series in
+/// [`Routine::ALL`] order, apps in scenario order), so the text is
+/// byte-identical across runs and `--jobs` levels.
+#[must_use]
+pub fn prometheus_telemetry(tel: &Telemetry) -> String {
+    let mut out = String::new();
+    for series in tel.stacks.all_series() {
+        let _ = writeln!(out, "# TYPE {} gauge", series.name());
+        for (w, &(_, v)) in series.points().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{}{{window=\"{w}\"}} {}",
+                series.name(),
+                prom_number(v)
+            );
+        }
+    }
+    if !tel.apps.is_empty() {
+        let _ = writeln!(
+            out,
+            "# TYPE {} gauge",
+            iotse_core::telemetry::APP_SLACK_SERIES
+        );
+        for app in &tel.apps {
+            for (w, &(_, v)) in app.slack_ms.points().iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{}{{app=\"{}\",window=\"{w}\"}} {}",
+                    iotse_core::telemetry::APP_SLACK_SERIES,
+                    json_escape(&app.name),
+                    prom_number(v)
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE {} gauge",
+            iotse_core::telemetry::APP_PROCESSING_SERIES
+        );
+        for app in &tel.apps {
+            for (w, &(_, v)) in app.processing_ms.points().iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{}{{app=\"{}\",window=\"{w}\"}} {}",
+                    iotse_core::telemetry::APP_PROCESSING_SERIES,
+                    json_escape(&app.name),
+                    prom_number(v)
+                );
+            }
+        }
+    }
+    let mut alert_lines = String::new();
+    for &routine in &Routine::ALL {
+        let name = stack_series_name(routine);
+        let n = tel.alerts.iter().filter(|a| a.series == name).count();
+        if n > 0 {
+            let _ = writeln!(
+                alert_lines,
+                "iotse_core_telemetry_alerts{{series=\"{name}\"}} {n}"
+            );
+        }
+    }
+    let budget = tel.budget_alerts();
+    if budget > 0 {
+        let _ = writeln!(
+            alert_lines,
+            "iotse_core_telemetry_alerts{{series=\"{}\"}} {budget}",
+            iotse_energy::stacks::WORKLOAD_TOTAL_SERIES
+        );
+    }
+    if !alert_lines.is_empty() {
+        let _ = writeln!(out, "# TYPE iotse_core_telemetry_alerts gauge");
+        out.push_str(&alert_lines);
     }
     out
 }
@@ -299,6 +431,47 @@ iotse_bench_sizes_sum 555
 iotse_bench_sizes_count 3
 ";
         assert_eq!(text, expected);
+    }
+
+    fn telemetry_run() -> RunResult {
+        Scenario::new(
+            Scheme::Batching,
+            iotse_apps::catalog::apps(&[iotse_core::AppId::A2], 42),
+        )
+        .windows(2)
+        .seed(42)
+        .with_trace()
+        .with_timeline()
+        .with_telemetry()
+        .run()
+    }
+
+    #[test]
+    fn chrome_trace_includes_telemetry_counter_track() {
+        let result = telemetry_run();
+        let json = chrome_trace(&result, &Calibration::paper());
+        assert_balanced_json(&json);
+        assert!(json.contains("\"name\":\"energy_stack_uj\""));
+        assert!(json.contains("\"interrupt\":"));
+        assert!(json.contains("\"idle\":"));
+        // A fair-weather run raises no alert instants.
+        assert!(!json.contains("telemetry_alert"));
+    }
+
+    #[test]
+    fn prometheus_telemetry_labels_every_point() {
+        let result = telemetry_run();
+        let tel = result.telemetry.as_ref().expect("telemetry on");
+        let text = prometheus_telemetry(tel);
+        assert!(text.contains("# TYPE iotse_energy_stack_interrupt_microjoules gauge"));
+        assert!(text.contains("iotse_energy_stack_idle_microjoules{window=\"1\"}"));
+        assert!(text.contains("iotse_core_app_slack_ms{app=\"Step counter\",window=\"0\"}"));
+        // Deterministic byte-for-byte.
+        let again = telemetry_run();
+        assert_eq!(
+            text,
+            prometheus_telemetry(again.telemetry.as_ref().unwrap())
+        );
     }
 
     #[test]

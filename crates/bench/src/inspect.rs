@@ -43,16 +43,25 @@ pub enum InspectFormat {
     Metrics,
     /// Power-state strips + span summary, for terminals.
     Timeline,
+    /// Per-window per-routine energy stack table (windowed telemetry).
+    Stacks,
+    /// The run's detector alert stream, one line per alert.
+    Alerts,
+    /// Raw dump of every recorded time series, one line per point.
+    Series,
 }
 
 impl InspectFormat {
     /// Every format, in CLI listing order.
-    pub const ALL: [InspectFormat; 5] = [
+    pub const ALL: [InspectFormat; 8] = [
         InspectFormat::Chrome,
         InspectFormat::Folded,
         InspectFormat::Table,
         InspectFormat::Metrics,
         InspectFormat::Timeline,
+        InspectFormat::Stacks,
+        InspectFormat::Alerts,
+        InspectFormat::Series,
     ];
 
     /// Parses a format name (case-insensitive).
@@ -67,8 +76,12 @@ impl InspectFormat {
             "table" => Ok(InspectFormat::Table),
             "metrics" => Ok(InspectFormat::Metrics),
             "timeline" => Ok(InspectFormat::Timeline),
+            "stacks" => Ok(InspectFormat::Stacks),
+            "alerts" => Ok(InspectFormat::Alerts),
+            "series" => Ok(InspectFormat::Series),
             other => Err(format!(
-                "unknown format '{other}' (chrome|folded|table|metrics|timeline)"
+                "unknown format '{other}' \
+                 (chrome|folded|table|metrics|timeline|stacks|alerts|series)"
             )),
         }
     }
@@ -82,6 +95,9 @@ impl InspectFormat {
             InspectFormat::Table => "table",
             InspectFormat::Metrics => "metrics",
             InspectFormat::Timeline => "timeline",
+            InspectFormat::Stacks => "stacks",
+            InspectFormat::Alerts => "alerts",
+            InspectFormat::Series => "series",
         }
     }
 }
@@ -126,7 +142,8 @@ pub fn run(req: &InspectRequest) -> RunResult {
         .seed(req.seed)
         .with_trace()
         .with_timeline()
-        .with_metrics();
+        .with_metrics()
+        .with_telemetry();
     if !req.faults.is_empty() {
         scenario = scenario.faults(req.faults.clone());
     }
@@ -142,11 +159,20 @@ pub fn render(result: &RunResult, format: InspectFormat) -> String {
         InspectFormat::Chrome => export::chrome_trace(result, &Calibration::paper()),
         InspectFormat::Folded => flame::fold(&result.trace).folded(),
         InspectFormat::Table => flame::fold(&result.trace).table(),
-        InspectFormat::Metrics => result
-            .metrics
-            .as_ref()
-            .map_or_else(String::new, export::prometheus),
+        InspectFormat::Metrics => {
+            let mut text = result
+                .metrics
+                .as_ref()
+                .map_or_else(String::new, export::prometheus);
+            if let Some(tel) = &result.telemetry {
+                text.push_str(&export::prometheus_telemetry(tel));
+            }
+            text
+        }
         InspectFormat::Timeline => render_timeline(result),
+        InspectFormat::Stacks => render_stacks(result),
+        InspectFormat::Alerts => render_alerts(result),
+        InspectFormat::Series => render_series(result),
     }
 }
 
@@ -185,6 +211,118 @@ fn render_timeline(result: &RunResult) -> String {
         s.spans, s.max_depth, s.events, s.total_weight
     );
     out.push_str(&flame::fold(&result.trace).table());
+    out
+}
+
+/// The `stacks` rendering: one row per window with the five routine
+/// deltas (µJ), a workload column, and a totals footer that folds each
+/// series — the footer equals the run's per-routine ledger totals bitwise.
+fn render_stacks(result: &RunResult) -> String {
+    use iotse_energy::attribution::Routine;
+
+    let mut out = String::new();
+    let Some(tel) = &result.telemetry else {
+        let _ = writeln!(out, "telemetry not recorded (run with with_telemetry)");
+        return out;
+    };
+    let stacks = &tel.stacks;
+    let _ = writeln!(
+        out,
+        "windowed energy stacks (uJ) — {} seed={}, {} x {} windows",
+        result.scheme,
+        result.seed,
+        stacks.windows(),
+        stacks.base_window()
+    );
+    let _ = write!(out, "{:>6} {:>10}", "window", "t_ms");
+    for &routine in &Routine::ALL {
+        let _ = write!(out, " {:>16}", export::routine_key(routine));
+    }
+    let _ = writeln!(out, " {:>16}", "workload");
+    let series = stacks.all_series();
+    for w in 0..stacks.recorded() {
+        let (at, _) = series[0].points()[w as usize];
+        let _ = write!(out, "{:>6} {:>10.3}", w, at.as_millis_f64());
+        let mut workload = 0.0;
+        for (i, &routine) in Routine::ALL.iter().enumerate() {
+            let v = series[i].points()[w as usize].1;
+            if routine != Routine::Idle {
+                workload += v;
+            }
+            let _ = write!(out, " {:>16.3}", v);
+        }
+        let _ = writeln!(out, " {:>16.3}", workload);
+    }
+    let _ = write!(out, "{:>6} {:>10}", "total", "");
+    let mut workload = 0.0;
+    for (i, &routine) in Routine::ALL.iter().enumerate() {
+        let total = series[i].fold_sum();
+        if routine != Routine::Idle {
+            workload += total;
+        }
+        let _ = write!(out, " {:>16.3}", total);
+    }
+    let _ = writeln!(out, " {:>16.3}", workload);
+    out
+}
+
+/// The `alerts` rendering: one line per detector alert, in evaluation
+/// order, plus a count header.
+fn render_alerts(result: &RunResult) -> String {
+    let mut out = String::new();
+    let Some(tel) = &result.telemetry else {
+        let _ = writeln!(out, "telemetry not recorded (run with with_telemetry)");
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "alerts — {} seed={}: {} ({} drift, {} budget) over {} detector evals",
+        result.scheme,
+        result.seed,
+        tel.alerts.len(),
+        tel.drift_alerts(),
+        tel.budget_alerts(),
+        tel.detector_evals
+    );
+    for alert in &tel.alerts {
+        let _ = writeln!(out, "{alert}");
+    }
+    out
+}
+
+/// The `series` rendering: a raw dump of every recorded time series —
+/// stack series first ([`Routine::ALL`] order), then each app's QoS
+/// series — one `t_ms value` line per point.
+fn render_series(result: &RunResult) -> String {
+    let mut out = String::new();
+    let Some(tel) = &result.telemetry else {
+        let _ = writeln!(out, "telemetry not recorded (run with with_telemetry)");
+        return out;
+    };
+    let mut dump = |label: String, series: &iotse_sim::timeseries::TimeSeries| {
+        let _ = writeln!(
+            out,
+            "series {label} points={} dropped={}",
+            series.len(),
+            series.dropped()
+        );
+        for &(t, v) in series.points() {
+            let _ = writeln!(out, "  {:.3} {v:.3}", t.as_millis_f64());
+        }
+    };
+    for series in tel.stacks.all_series() {
+        dump(series.name().to_string(), series);
+    }
+    for app in &tel.apps {
+        dump(
+            format!("{} app={}", app.slack_ms.name(), app.name),
+            &app.slack_ms,
+        );
+        dump(
+            format!("{} app={}", app.processing_ms.name(), app.name),
+            &app.processing_ms,
+        );
+    }
     out
 }
 

@@ -20,6 +20,7 @@
 
 pub mod config;
 pub mod csv;
+pub mod diff;
 pub mod export;
 pub mod figures;
 pub mod inspect;

@@ -1,20 +1,23 @@
 //! The bench suite's stable report schema (`BENCH_5.json`).
 //!
 //! One [`BenchEntry`] per measured case: `(section, workload, scheme)`
-//! identifies the case; `wall_ns_*` carry the stopwatch timing; the nine
+//! identifies the case; `wall_ns_*` carry the stopwatch timing; the twelve
 //! **deterministic cost counters** — `events`, `bus_bytes`, `allocs`,
 //! `alloc_bytes`, `cache_hits`, `cache_misses`, `faults_injected`,
-//! `samples_dropped`, `bytes_corrupted` — are bitwise-reproducible
+//! `samples_dropped`, `bytes_corrupted`, `alerts_fired`, `series_points`,
+//! `detector_evals` — are bitwise-reproducible
 //! (simulation events and payload bytes are pure functions of the scenario;
 //! heap counts come from the `bench` binary's counting allocator over a
 //! single-threaded run; cache counters read the compute-cache statistics
-//! after a from-clear run; fault counters replay the seeded fault plan)
+//! after a from-clear run; fault counters replay the seeded fault plan;
+//! telemetry counters fold the recorded series and alert stream)
 //! and are therefore CI-gateable with **zero** tolerance, while wall time
 //! is only advisory (shared runners make it noisy).
 //!
 //! Schema history: v1 (`BENCH_4.json`) carried the first four counters;
 //! v2 added `cache_hits`/`cache_misses`; v3 adds the three fault counters
-//! with the `robustness` section. Bumps are compatible — counters missing
+//! with the `robustness` section; v4 adds the three telemetry counters
+//! with the `telemetry` section. Bumps are compatible — counters missing
 //! from an older file parse as 0.
 //!
 //! Serialization is hand-rolled JSON over the in-tree [`Json`] kernel — the
@@ -25,7 +28,7 @@
 use iotse_apps::kernels::json::Json;
 
 /// Version tag written into every report; bump on schema changes.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One measured case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +74,16 @@ pub struct BenchEntry {
     /// Payload bytes corrupted on the wire in one run. Deterministic; see
     /// [`BenchEntry::faults_injected`].
     pub bytes_corrupted: u64,
+    /// Telemetry alerts fired in one run (0 outside the `telemetry`
+    /// section). Deterministic: detectors are pure folds over the series.
+    /// Absent in pre-v4 files, parsed as 0.
+    pub alerts_fired: u64,
+    /// Time-series points recorded in one run (energy stacks + app QoS
+    /// series). Deterministic; see [`BenchEntry::alerts_fired`].
+    pub series_points: u64,
+    /// Detector/watchdog update calls in one run. Deterministic; see
+    /// [`BenchEntry::alerts_fired`].
+    pub detector_evals: u64,
 }
 
 impl BenchEntry {
@@ -98,6 +111,9 @@ impl BenchEntry {
             ("faults_injected", from_u64(self.faults_injected)),
             ("samples_dropped", from_u64(self.samples_dropped)),
             ("bytes_corrupted", from_u64(self.bytes_corrupted)),
+            ("alerts_fired", from_u64(self.alerts_fired)),
+            ("series_points", from_u64(self.series_points)),
+            ("detector_evals", from_u64(self.detector_evals)),
         ])
     }
 }
@@ -189,6 +205,9 @@ impl BenchReport {
                         ("faults_injected", base.faults_injected, cur.faults_injected),
                         ("samples_dropped", base.samples_dropped, cur.samples_dropped),
                         ("bytes_corrupted", base.bytes_corrupted, cur.bytes_corrupted),
+                        ("alerts_fired", base.alerts_fired, cur.alerts_fired),
+                        ("series_points", base.series_points, cur.series_points),
+                        ("detector_evals", base.detector_evals, cur.detector_evals),
                     ] {
                         if b != c {
                             diffs.push(format!("{id}: {field} {b} -> {c}"));
@@ -294,6 +313,9 @@ fn parse_entry(doc: &Json) -> Result<BenchEntry, String> {
         faults_injected: field_u64_or_zero(doc, "faults_injected")?,
         samples_dropped: field_u64_or_zero(doc, "samples_dropped")?,
         bytes_corrupted: field_u64_or_zero(doc, "bytes_corrupted")?,
+        alerts_fired: field_u64_or_zero(doc, "alerts_fired")?,
+        series_points: field_u64_or_zero(doc, "series_points")?,
+        detector_evals: field_u64_or_zero(doc, "detector_evals")?,
     })
 }
 
@@ -319,6 +341,9 @@ mod tests {
             faults_injected: 17,
             samples_dropped: 4,
             bytes_corrupted: 96,
+            alerts_fired: 2,
+            series_points: 14,
+            detector_evals: 12,
         }
     }
 
@@ -372,6 +397,24 @@ mod tests {
         assert_eq!(r.entries[0].faults_injected, 0);
         assert_eq!(r.entries[0].samples_dropped, 0);
         assert_eq!(r.entries[0].bytes_corrupted, 0);
+    }
+
+    #[test]
+    fn pre_v4_files_parse_with_zero_telemetry_counters() {
+        // A v3 baseline predates the telemetry section; all three telemetry
+        // counters default to 0 so it stays diffable against v4 builds.
+        let v3 = r#"{"schema": 3, "entries": [
+            {"section":"robustness","workload":"A2+A7@demo-faults","scheme":"com",
+             "wall_ns_median":10,"wall_ns_min":9,"wall_ns_max":11,"iters":3,
+             "events":4000,"bus_bytes":48000,"allocs":0,"alloc_bytes":0,
+             "cache_hits":0,"cache_misses":0,
+             "faults_injected":17,"samples_dropped":4,"bytes_corrupted":96}
+        ]}"#;
+        let r = BenchReport::parse(v3).expect("v3 parses");
+        assert_eq!(r.schema, 3);
+        assert_eq!(r.entries[0].alerts_fired, 0);
+        assert_eq!(r.entries[0].series_points, 0);
+        assert_eq!(r.entries[0].detector_evals, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The deterministic microbenchmark suite behind the `bench` binary.
 //!
-//! Six sections, mirroring the questions the ROADMAP's "fast as the
+//! Seven sections, mirroring the questions the ROADMAP's "fast as the
 //! hardware allows" goal keeps asking:
 //!
 //! * **executor** — full-scenario event throughput per scheme (the
@@ -17,6 +17,11 @@
 //! * **robustness** — the suite scenario under the committed demo fault
 //!   scripts, per scheme, with exact-gated fault counters
 //!   (`faults_injected`, `samples_dropped`, `bytes_corrupted`).
+//! * **telemetry** — the suite scenario per scheme with windowed
+//!   telemetry on under the demo faults, with exact-gated telemetry
+//!   counters (`alerts_fired`, `series_points`, `detector_evals`); the
+//!   `overhead` section's `telemetry` case prices the recording path's
+//!   wall time.
 //!
 //! Every case reports wall time (advisory) plus the deterministic cost
 //! counters of [`crate::report`]. Heap counting needs the `bench` binary's
@@ -68,6 +73,12 @@ pub struct CaseOutput {
     pub samples_dropped: u64,
     /// Wire bytes corrupted (see [`CaseOutput::faults_injected`]).
     pub bytes_corrupted: u64,
+    /// Telemetry alerts fired (nonzero only for `telemetry` cases).
+    pub alerts_fired: u64,
+    /// Time-series points recorded (see [`CaseOutput::alerts_fired`]).
+    pub series_points: u64,
+    /// Detector/watchdog update calls (see [`CaseOutput::alerts_fired`]).
+    pub detector_evals: u64,
 }
 
 impl CaseOutput {
@@ -80,15 +91,25 @@ impl CaseOutput {
         faults_injected: 0,
         samples_dropped: 0,
         bytes_corrupted: 0,
+        alerts_fired: 0,
+        series_points: 0,
+        detector_evals: 0,
     };
 
     fn of(result: &RunResult) -> CaseOutput {
+        let (alerts_fired, series_points, detector_evals) =
+            result.telemetry.as_ref().map_or((0, 0, 0), |t| {
+                (t.alerts.len() as u64, t.points_recorded(), t.detector_evals)
+            });
         CaseOutput {
             events: result.events_executed,
             bus_bytes: result.bytes_transferred,
             faults_injected: result.faults.faults_injected,
             samples_dropped: result.faults.samples_dropped,
             bytes_corrupted: result.faults.bytes_corrupted,
+            alerts_fired,
+            series_points,
+            detector_evals,
             ..CaseOutput::NONE
         }
     }
@@ -103,6 +124,9 @@ impl CaseOutput {
                 faults_injected: acc.faults_injected + c.faults_injected,
                 samples_dropped: acc.samples_dropped + c.samples_dropped,
                 bytes_corrupted: acc.bytes_corrupted + c.bytes_corrupted,
+                alerts_fired: acc.alerts_fired + c.alerts_fired,
+                series_points: acc.series_points + c.series_points,
+                detector_evals: acc.detector_evals + c.detector_evals,
                 ..acc
             })
     }
@@ -214,18 +238,34 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (d) Instrumentation overhead: bare vs. fully-observed run.
-    for (label, instrumented) in [("bare", false), ("instrumented", true)] {
+    // (d) Instrumentation overhead: bare vs. fully-observed run, plus the
+    // telemetry layer alone — its wall cost is the advisory price of the
+    // windowed recording path.
+    #[derive(Clone, Copy)]
+    enum Instrumentation {
+        Bare,
+        Full,
+        Telemetry,
+    }
+    for (label, mode) in [
+        ("bare", Instrumentation::Bare),
+        ("instrumented", Instrumentation::Full),
+        ("telemetry", Instrumentation::Telemetry),
+    ] {
         out.push(Case {
             section: "overhead",
             workload: "A2+A7@batching".into(),
             scheme: label.into(),
             count_allocs: true,
             run: Box::new(move || {
-                let mut s = scenario(Scheme::Batching);
-                if instrumented {
-                    s = s.with_trace().with_metrics().with_timeline();
-                }
+                let s = match mode {
+                    Instrumentation::Bare => scenario(Scheme::Batching),
+                    Instrumentation::Full => scenario(Scheme::Batching)
+                        .with_trace()
+                        .with_metrics()
+                        .with_timeline(),
+                    Instrumentation::Telemetry => scenario(Scheme::Batching).with_telemetry(),
+                };
                 CaseOutput::of(&s.run())
             }),
         });
@@ -276,6 +316,28 @@ pub fn cases() -> Vec<Case> {
             run: Box::new(move || {
                 CaseOutput::of(
                     &scenario(scheme)
+                        .faults(iotse_core::robustness::demo_scripts())
+                        .run(),
+                )
+            }),
+        });
+    }
+
+    // (g) Windowed telemetry: the suite scenario per scheme with telemetry
+    // on and the demo fault scripts injected, so the interrupt-storm window
+    // exercises the CUSUM detectors. Alerts, points and evals are pure
+    // folds over the deterministic series — the baseline gates them exactly
+    // (COM/BCOM fire on the storm, BEAM stays quiet; see EXPERIMENTS.md).
+    for scheme in Scheme::ALL {
+        out.push(Case {
+            section: "telemetry",
+            workload: "A2+A7@demo-faults".into(),
+            scheme: scheme.to_string().to_ascii_lowercase(),
+            count_allocs: true,
+            run: Box::new(move || {
+                CaseOutput::of(
+                    &scenario(scheme)
+                        .with_telemetry()
                         .faults(iotse_core::robustness::demo_scripts())
                         .run(),
                 )
@@ -370,6 +432,9 @@ pub fn run_suite_filtered(
             faults_injected: warm.faults_injected,
             samples_dropped: warm.samples_dropped,
             bytes_corrupted: warm.bytes_corrupted,
+            alerts_fired: warm.alerts_fired,
+            series_points: warm.series_points,
+            detector_evals: warm.detector_evals,
         });
     }
     report
@@ -382,7 +447,7 @@ pub fn render_table(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9}",
+        "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7} {:>7} {:>6}",
         "section",
         "workload",
         "scheme",
@@ -395,12 +460,15 @@ pub fn render_table(report: &BenchReport) -> String {
         "misses",
         "faults",
         "dropped",
-        "corrupted"
+        "corrupted",
+        "alerts",
+        "points",
+        "evals"
     );
     for e in &report.entries {
         let _ = writeln!(
             out,
-            "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9}",
+            "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7} {:>7} {:>6}",
             e.section,
             e.workload,
             e.scheme,
@@ -413,7 +481,10 @@ pub fn render_table(report: &BenchReport) -> String {
             e.cache_misses,
             e.faults_injected,
             e.samples_dropped,
-            e.bytes_corrupted
+            e.bytes_corrupted,
+            e.alerts_fired,
+            e.series_points,
+            e.detector_evals
         );
     }
     out
@@ -442,7 +513,7 @@ mod tests {
             cases.iter().filter(|c| c.section == "fleet").count(),
             FLEET_RUNGS.len()
         );
-        assert_eq!(cases.iter().filter(|c| c.section == "overhead").count(), 2);
+        assert_eq!(cases.iter().filter(|c| c.section == "overhead").count(), 3);
         assert_eq!(
             cases
                 .iter()
@@ -452,6 +523,10 @@ mod tests {
         );
         assert_eq!(
             cases.iter().filter(|c| c.section == "robustness").count(),
+            Scheme::ALL.len()
+        );
+        assert_eq!(
+            cases.iter().filter(|c| c.section == "telemetry").count(),
             Scheme::ALL.len()
         );
         // Case ids are unique — the baseline gate matches on them.
@@ -510,6 +585,31 @@ mod tests {
         assert!(out.bytes_corrupted > 0, "corruption never fired");
         // The seeded plan replays bitwise.
         assert_eq!((faulted[0].run)(), out);
+    }
+
+    #[test]
+    fn telemetry_cases_record_and_alert_deterministically() {
+        let mut tel_cases: Vec<_> = cases()
+            .into_iter()
+            .filter(|c| c.section == "telemetry")
+            .collect();
+        assert_eq!(tel_cases.len(), Scheme::ALL.len());
+        // scheme order mirrors Scheme::ALL: baseline, batching, com, beam, bcom
+        let com = tel_cases
+            .iter_mut()
+            .find(|c| c.scheme == "com")
+            .expect("com case");
+        let out = (com.run)();
+        assert!(out.series_points > 0, "no points recorded");
+        assert!(out.detector_evals > 0, "no detector evals");
+        assert!(out.alerts_fired > 0, "the storm must trip COM's detectors");
+        // The stream is a pure fold: a second run is identical.
+        assert_eq!((com.run)(), out);
+        let beam = tel_cases
+            .iter_mut()
+            .find(|c| c.scheme == "beam")
+            .expect("beam case");
+        assert_eq!((beam.run)().alerts_fired, 0, "BEAM must stay quiet");
     }
 
     #[test]

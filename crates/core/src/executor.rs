@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use iotse_energy::attribution::{Device, EnergyLedger, Routine};
+use iotse_energy::stacks::exact_residual;
 use iotse_sensors::faults::{apply as apply_sample_fault, SampleFault};
 use iotse_sensors::reading::{SampleValue, SensorSample};
 use iotse_sensors::spec::SensorId;
@@ -27,6 +28,7 @@ use crate::cpu::{CpuAccount, GapPolicy, SleepPolicy};
 use crate::mcu::McuAccount;
 use crate::result::{AppFlow, AppRunReport, RoutineDurations, RunResult, WindowOutcome};
 use crate::scheme::Scheme;
+use crate::telemetry::{TelemetryConfig, TelemetryState};
 use crate::workload::{AppOutput, WindowData, Workload};
 
 /// Maximum Task-I retry attempts before a sample is recorded as lost.
@@ -55,6 +57,7 @@ pub struct Scenario {
     record_timeline: bool,
     trace: bool,
     metrics: bool,
+    telemetry: Option<TelemetryConfig>,
     compute_cache: bool,
     faults: Vec<FaultScript>,
 }
@@ -86,6 +89,7 @@ impl Scenario {
             record_timeline: false,
             trace: false,
             metrics: false,
+            telemetry: None,
             compute_cache: true,
             faults: Vec::new(),
         }
@@ -153,6 +157,25 @@ impl Scenario {
         self
     }
 
+    /// Records windowed telemetry (per-routine energy stacks, per-app
+    /// QoS series, streaming drift detectors) with the default
+    /// [`TelemetryConfig`]. Off by default, and off means off: a run
+    /// without telemetry is bitwise identical to one on a build without
+    /// the telemetry layer.
+    #[must_use]
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = Some(TelemetryConfig::default());
+        self
+    }
+
+    /// Records windowed telemetry with explicit tuning (implies
+    /// [`Scenario::with_telemetry`]).
+    #[must_use]
+    pub fn telemetry_config(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Injects scripted faults (see [`iotse_sim::faults`]). An empty list
     /// is the default and compiles no plan at all: a faults-off run draws
     /// no extra random numbers, schedules no extra events and is bitwise
@@ -200,6 +223,7 @@ impl Scenario {
             record_timeline,
             trace,
             metrics,
+            telemetry,
             compute_cache,
             faults,
         } = self;
@@ -300,6 +324,7 @@ impl Scenario {
             bytes_transferred: 0,
             faults: fault_plan,
             stuck: BTreeMap::new(),
+            telemetry: None,
         };
 
         for (app, flow) in apps.into_iter().zip(flows.iter().copied()) {
@@ -315,6 +340,18 @@ impl Scenario {
                 workload: app,
             });
         }
+
+        // Windowed telemetry records on the `max_window` grid the run's
+        // horizon is built from. All buffers are preallocated here, so
+        // the per-window recording path never allocates (IOTSE-H13).
+        exec.telemetry = telemetry.map(|cfg| {
+            let app_meta = exec
+                .apps
+                .iter()
+                .map(|rt| (rt.workload.id(), rt.workload.name().to_string()))
+                .collect();
+            TelemetryState::new(&cfg, max_window, windows, app_meta)
+        });
 
         // Build tick groups (BEAM merges same-rate shared sensors) and
         // schedule every tick of every window up front. Ticks go in as
@@ -395,6 +432,12 @@ impl Scenario {
         exec.trace.exit_span(close, end);
         exec.trace.exit_span(root, end);
 
+        // Seal the telemetry payload: force-close any window the tick
+        // stream never reached (the final one always, plus every window
+        // of an idle run), with the last window ulp-nudged so each
+        // routine's series folds back to its ledger total bitwise.
+        let telemetry = exec.telemetry.take().map(|t| t.close(&exec.ledger));
+
         let apps: Vec<AppRunReport> = exec
             .apps
             .into_iter()
@@ -440,6 +483,16 @@ impl Scenario {
                 let c = m.reg.counter("iotse_core_bytes_corrupted_total");
                 m.reg.add(c, fault_stats.bytes_corrupted);
             }
+            // Telemetry counters register only when telemetry ran, so
+            // telemetry-off metric snapshots stay byte-identical.
+            if let Some(t) = &telemetry {
+                let c = m.reg.counter("iotse_core_telemetry_points_total");
+                m.reg.add(c, t.points_recorded());
+                let c = m.reg.counter("iotse_core_telemetry_alerts_total");
+                m.reg.add(c, t.alerts.len() as u64);
+                let c = m.reg.counter("iotse_core_telemetry_detector_evals_total");
+                m.reg.add(c, t.detector_evals);
+            }
             exec.ledger.export_metrics(&mut m.reg);
             m.reg.snapshot()
         });
@@ -461,6 +514,7 @@ impl Scenario {
             mcu_timeline: exec.mcu.timeline().map(<[_]>::to_vec),
             spans: exec.trace.summary(),
             metrics,
+            telemetry,
             trace: exec.trace,
         }
     }
@@ -618,39 +672,6 @@ impl MetricsState {
     }
 }
 
-/// The non-negative weight `w` for which `assigned + w` reproduces `total`
-/// bitwise (nudging the naive difference by ulps when float rounding makes
-/// `assigned + (total - assigned) != total`). Falls back to the naive
-/// difference if no exact weight exists within a few ulps — in practice the
-/// search converges immediately because the close-out weight is large.
-fn exact_residual(assigned: f64, total: f64) -> f64 {
-    // NaN-safe "strictly positive": NaN compares as not-greater, so a
-    // degenerate difference short-circuits to zero instead of looping.
-    fn strictly_positive(x: f64) -> bool {
-        x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
-    }
-    let mut w = total - assigned;
-    if !strictly_positive(w) {
-        return 0.0;
-    }
-    for _ in 0..8 {
-        let sum = assigned + w;
-        if sum == total {
-            return w;
-        }
-        let nudged = if sum < total {
-            f64::from_bits(w.to_bits() + 1)
-        } else {
-            f64::from_bits(w.to_bits().wrapping_sub(1))
-        };
-        if !strictly_positive(nudged) {
-            break;
-        }
-        w = nudged;
-    }
-    (total - assigned).max(0.0)
-}
-
 /// The executor state driven by the engine.
 struct Exec {
     world: PhysicalWorld,
@@ -676,6 +697,9 @@ struct Exec {
     faults: Option<FaultPlan>,
     /// Values latched by stuck-at faults, keyed by sensor.
     stuck: BTreeMap<SensorId, SampleValue>,
+    /// Windowed telemetry recorder; `None` (the default) records nothing
+    /// and leaves the run bitwise identical to a telemetry-free build.
+    telemetry: Option<TelemetryState>,
 }
 
 impl Exec {
@@ -698,6 +722,12 @@ impl Exec {
 
     // iotse-lint: hot-path
     fn on_tick(&mut self, now: SimTime, group_idx: usize, window: u32) {
+        // Window-boundary telemetry rolls first, so everything charged by
+        // earlier ticks — including their overruns past the boundary —
+        // is binned into the window whose tick initiated it.
+        if let Some(tel) = &mut self.telemetry {
+            tel.roll(now, &self.ledger);
+        }
         // Borrow the member list out of the group (restored before returning)
         // and copy the scalar fields — a tick never clones its group.
         let members = std::mem::take(&mut self.groups[group_idx].members);
@@ -1202,6 +1232,14 @@ impl Exec {
         if let Some(m) = &mut self.metrics {
             m.reg
                 .observe(m.window_slack_ms, outcome.slack().as_millis_f64());
+        }
+        if let Some(tel) = &mut self.telemetry {
+            tel.record_outcome(
+                app,
+                outcome.completed_at,
+                outcome.slack().as_millis_f64(),
+                outcome.processing.total().as_millis_f64(),
+            );
         }
         self.apps[app].outcomes.push(outcome);
     }

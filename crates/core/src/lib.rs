@@ -22,6 +22,9 @@
 //!   the discrete-event engine and yields a [`result::RunResult`].
 //! * [`runner`] — the scenario fleet runner: fans independent scenarios
 //!   across OS threads with deterministic, submission-ordered results.
+//! * [`telemetry`] — windowed telemetry: per-window/per-routine energy
+//!   stacks, per-app QoS series and streaming EWMA/CUSUM drift alerts,
+//!   recorded at window boundaries when a scenario opts in.
 //! * [`robustness`] — scripted-fault robustness grading: runs every scheme
 //!   clean and faulted, grades pluggable expectations, emits a
 //!   [`robustness::RobustnessReport`].
@@ -55,12 +58,14 @@ pub mod result;
 pub mod robustness;
 pub mod runner;
 pub mod scheme;
+pub mod telemetry;
 pub mod workload;
 
 pub use calibration::Calibration;
 pub use executor::Scenario;
 pub use result::{AppFlow, RunResult};
 pub use robustness::{Expectation, RobustnessReport};
-pub use runner::{run_fleet, Fleet};
+pub use runner::{fleet_window_percentiles, run_fleet, Fleet, WindowPercentiles};
 pub use scheme::Scheme;
+pub use telemetry::{Telemetry, TelemetryConfig};
 pub use workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};

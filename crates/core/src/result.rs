@@ -203,6 +203,10 @@ pub struct RunResult {
     /// Stable-ordered metrics snapshot (`None` unless the scenario ran with
     /// [`Scenario::with_metrics`](crate::executor::Scenario::with_metrics)).
     pub metrics: Option<iotse_sim::metrics::MetricsReport>,
+    /// Windowed telemetry — per-routine energy stacks, per-app QoS series
+    /// and the streaming-detector alert stream (`None` unless the scenario
+    /// ran with [`Scenario::with_telemetry`](crate::executor::Scenario::with_telemetry)).
+    pub telemetry: Option<crate::telemetry::Telemetry>,
     /// The structured execution trace (empty unless the scenario ran with
     /// [`Scenario::with_trace`](crate::executor::Scenario::with_trace)).
     pub trace: iotse_sim::trace::TraceLog,

@@ -16,6 +16,9 @@
 //!   an exact piecewise-constant waveform with CSV sampling.
 //! * [`flame`] — energy flamegraphs: fold span-tree energy charges into
 //!   inferno-compatible collapsed stacks and self/total tables.
+//! * [`stacks`] — windowed per-routine energy stacks: the whole-run
+//!   ledger telescoped across window boundaries into exact per-window
+//!   time series (the windowed-telemetry signal path).
 //! * [`report`] — ASCII renderings of breakdowns and bar charts.
 //!
 //! # Examples
@@ -44,11 +47,13 @@ pub mod attribution;
 pub mod flame;
 pub mod monitor;
 pub mod report;
+pub mod stacks;
 pub mod state;
 pub mod units;
 
 pub use attribution::{Breakdown, Device, EnergyLedger, NormalizedBreakdown, Routine};
 pub use flame::FlameGraph;
 pub use monitor::PowerTrace;
+pub use stacks::EnergyStacks;
 pub use state::{PowerState, StateTracker};
 pub use units::{Energy, Power};

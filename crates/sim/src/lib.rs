@@ -17,6 +17,9 @@
 //! * [`trace`] — structured execution traces: hierarchical spans with typed
 //!   fields (used for the paper's Figure 5 timelines and the energy
 //!   flamegraph fold).
+//! * [`timeseries`] — fixed-capacity windowed time series plus streaming
+//!   EWMA/CUSUM drift detectors and budget watchdogs (the windowed
+//!   telemetry layer's storage and alerting primitives).
 //! * [`rng`] — label-addressed deterministic RNG streams.
 //!
 //! # Examples
@@ -57,6 +60,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
 pub use engine::{Engine, RunOutcome};

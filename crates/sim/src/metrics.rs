@@ -222,6 +222,46 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the fixed buckets by
+    /// linear interpolation inside the bucket holding the target rank.
+    ///
+    /// The estimate is *biased by the bucket layout*: a bucket's
+    /// observations are assumed uniformly spread between its lower edge
+    /// (0.0 for the first bucket) and its upper bound, so the true
+    /// quantile can be off by up to one bucket width. Ranks landing in
+    /// the overflow region clamp to the last bound — the snapshot does
+    /// not retain the magnitude of overflowing observations. Returns
+    /// `None` for an empty histogram or a `q` outside `0.0..=1.0`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Nearest-rank target, 1-based: ceil(q * count), clamped to >= 1.
+        // lint: q in [0, 1] times a tally far below 2^53 — small, non-negative
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, (&bound, &n)) in self.bounds.iter().zip(&self.counts).enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                // Position of the target rank inside this bucket, in (0, 1].
+                // lint: both operands are bucket tallies far below 2^53
+                #[allow(clippy::cast_precision_loss)]
+                let frac = (target - seen) as f64 / n as f64;
+                return Some(lower + (bound - lower) * frac);
+            }
+            seen += n;
+        }
+        // Target rank lies in the overflow region: clamp to the last bound.
+        self.bounds.last().copied()
+    }
+}
+
 /// A stable-ordered snapshot of a [`MetricsRegistry`] — every list is
 /// sorted by metric name, so rendering a report yields byte-identical text
 /// for identical runs.
@@ -258,6 +298,15 @@ impl MetricsReport {
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
             .map(|i| self.gauges[i].1)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
     }
 
     /// Merges `other` into this report: counters, histogram buckets and
@@ -404,6 +453,96 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn histogram_lookup_by_name() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("iotse_sim_h_ms", &[1.0, 10.0]);
+        reg.observe(h, 0.5);
+        let report = reg.snapshot();
+        assert_eq!(report.histogram("iotse_sim_h_ms").map(|s| s.count), Some(1));
+        assert!(report.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("iotse_sim_h_ms", &[10.0, 20.0, 40.0]);
+        for _ in 0..8 {
+            reg.observe(h, 5.0); // first bucket (0, 10]
+        }
+        reg.observe(h, 15.0); // second bucket (10, 20]
+        reg.observe(h, 30.0); // third bucket (20, 40]
+        let snap = report_histogram(&reg);
+        // Rank 5 of 10 → 5/8 through the (0, 10] bucket.
+        assert_eq!(snap.quantile(0.5), Some(6.25));
+        // Rank 9 → sole observation of (10, 20] → its upper bound.
+        assert_eq!(snap.quantile(0.9), Some(20.0));
+        // Rank 10 → sole observation of (20, 40] → its upper bound.
+        assert_eq!(snap.quantile(1.0), Some(40.0));
+        // Tiny q clamps to rank 1.
+        assert_eq!(snap.quantile(0.0), Some(1.25));
+    }
+
+    #[test]
+    fn quantile_overflow_clamps_to_last_bound() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("iotse_sim_h_ms", &[10.0]);
+        reg.observe(h, 5.0);
+        reg.observe(h, 999.0); // overflow — magnitude not retained
+        let snap = report_histogram(&reg);
+        assert_eq!(snap.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_rejects_empty_and_out_of_range() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("iotse_sim_h_ms", &[10.0]);
+        let empty = report_histogram(&reg);
+        assert_eq!(empty.quantile(0.5), None);
+        reg.observe(h, 1.0);
+        let snap = report_histogram(&reg);
+        assert_eq!(snap.quantile(-0.1), None);
+        assert_eq!(snap.quantile(1.1), None);
+        assert_eq!(snap.quantile(f64::NAN), None);
+    }
+
+    fn report_histogram(reg: &MetricsRegistry) -> HistogramSnapshot {
+        reg.snapshot().histograms[0].clone()
+    }
+
+    /// Pins the gauge merge contract: gauges *add* (they are per-run
+    /// totals), they do not last-write-win or average. A fleet mean is
+    /// `merged / runs`, computed by the caller.
+    #[test]
+    fn merge_gauges_add_not_overwrite() {
+        let mut a = MetricsRegistry::new();
+        let g = a.gauge("iotse_sim_total_uj");
+        a.set_gauge(g, 10.0);
+        let mut b = MetricsRegistry::new();
+        let g2 = b.gauge("iotse_sim_total_uj");
+        b.set_gauge(g2, 4.0);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.gauge("iotse_sim_total_uj"), Some(18.0));
+        // Order-independence: b+a folds to the same sum as a+b.
+        let mut other = b.snapshot();
+        other.merge(&a.snapshot());
+        assert_eq!(other.gauge("iotse_sim_total_uj"), Some(14.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket bounds differ")]
+    fn merge_mismatched_histogram_bounds_panics() {
+        let mut a = MetricsRegistry::new();
+        a.histogram("iotse_sim_h_ms", &[1.0, 2.0]);
+        let mut b = MetricsRegistry::new();
+        b.histogram("iotse_sim_h_ms", &[1.0, 4.0]);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
     }
 
     #[test]
