@@ -5,8 +5,9 @@
 //!     [--section NAME] [--out PATH] [--check PATH]
 //! ```
 //!
-//! Runs the six suite sections (executor, kernel, fleet, overhead,
-//! compute_cache, robustness), prints a table, and optionally writes the
+//! Runs the eight suite sections (executor, kernel, fleet, overhead,
+//! compute_cache, robustness, telemetry, scenarios), prints a table, and
+//! optionally writes the
 //! stable-schema JSON report (`--out`) or gates the deterministic counters
 //! against a committed baseline (`--check`, exact match required; wall
 //! time is advisory only — drift beyond ±30% prints a warning but never

@@ -1,0 +1,87 @@
+//! Runs declarative scenario files (`scenarios/*.toml`) on the fleet and
+//! grades their expectations.
+//!
+//! ```text
+//! scenario run <file>  [--jobs N] [--format text|json|csv] [--out PATH]
+//! scenario check <dir> [--jobs N] [--format text|json|csv] [--out PATH]
+//! ```
+//!
+//! `run` executes one file; `check` executes every `*.toml` directly under
+//! a directory in file-name order (the CI corpus gate). Output goes to
+//! stdout (and `--out PATH` when given) and is byte-identical across
+//! `--jobs` levels. Exit code 0 when every expectation passes, 1 when any
+//! fails, 2 for usage, parse or IO errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use iotse_bench::scenario::{check_dir, counters, render, run_file};
+
+const USAGE: &str = "usage: scenario run <file>  [--jobs N] [--format text|json|csv] [--out PATH]
+       scenario check <dir> [--jobs N] [--format text|json|csv] [--out PATH]
+defaults: --jobs 1 --format text
+run executes one scenario file; check executes every *.toml directly under
+a directory in file-name order and fails if any expectation fails";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (mode, target) = match (args.next(), args.next()) {
+        (Some(mode), Some(target)) if mode == "run" || mode == "check" => (mode, target),
+        (Some(help), _) if help == "--help" || help == "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => return usage_fail("expected `run <file>` or `check <dir>`"),
+    };
+
+    let mut jobs = 1usize;
+    let mut format = "text".to_string();
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(j) if j > 0 => jobs = j,
+                _ => return usage_fail("--jobs needs a positive integer"),
+            },
+            "--format" => match args.next() {
+                Some(f) => format = f,
+                None => return usage_fail("--format needs a name (text, json, csv)"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => return usage_fail("--out needs a file path"),
+            },
+            unknown => return usage_fail(&format!("unknown argument '{unknown}'")),
+        }
+    }
+
+    let reports = if mode == "run" {
+        run_file(Path::new(&target), jobs).map(|r| vec![r])
+    } else {
+        check_dir(Path::new(&target), jobs)
+    };
+    let reports = match reports {
+        Ok(r) => r,
+        Err(e) => return usage_fail(&e),
+    };
+    let rendered = match render(&reports, &format) {
+        Ok(text) => text,
+        Err(e) => return usage_fail(&e),
+    };
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            return usage_fail(&format!("cannot write {path}: {e}"));
+        }
+    }
+    print!("{rendered}");
+    if counters(&reports).expectations_failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -25,6 +25,7 @@ pub mod export;
 pub mod figures;
 pub mod inspect;
 pub mod report;
+pub mod scenario;
 pub mod stopwatch;
 pub mod suite;
 pub mod sweeps;

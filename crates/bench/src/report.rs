@@ -1,24 +1,27 @@
 //! The bench suite's stable report schema (`BENCH_5.json`).
 //!
 //! One [`BenchEntry`] per measured case: `(section, workload, scheme)`
-//! identifies the case; `wall_ns_*` carry the stopwatch timing; the twelve
+//! identifies the case; `wall_ns_*` carry the stopwatch timing; the fifteen
 //! **deterministic cost counters** — `events`, `bus_bytes`, `allocs`,
 //! `alloc_bytes`, `cache_hits`, `cache_misses`, `faults_injected`,
 //! `samples_dropped`, `bytes_corrupted`, `alerts_fired`, `series_points`,
-//! `detector_evals` — are bitwise-reproducible
+//! `detector_evals`, `scenarios_run`, `expectations_evaluated`,
+//! `expectations_failed` — are bitwise-reproducible
 //! (simulation events and payload bytes are pure functions of the scenario;
 //! heap counts come from the `bench` binary's counting allocator over a
 //! single-threaded run; cache counters read the compute-cache statistics
 //! after a from-clear run; fault counters replay the seeded fault plan;
-//! telemetry counters fold the recorded series and alert stream)
+//! telemetry counters fold the recorded series and alert stream; scenario
+//! counters grade the committed `scenarios/` corpus)
 //! and are therefore CI-gateable with **zero** tolerance, while wall time
 //! is only advisory (shared runners make it noisy).
 //!
 //! Schema history: v1 (`BENCH_4.json`) carried the first four counters;
 //! v2 added `cache_hits`/`cache_misses`; v3 adds the three fault counters
 //! with the `robustness` section; v4 adds the three telemetry counters
-//! with the `telemetry` section. Bumps are compatible — counters missing
-//! from an older file parse as 0.
+//! with the `telemetry` section; v5 adds the three scenario-corpus
+//! counters with the `scenarios` section. Bumps are compatible — counters
+//! missing from an older file parse as 0.
 //!
 //! Serialization is hand-rolled JSON over the in-tree [`Json`] kernel — the
 //! same std-only discipline as the Chrome-trace and Prometheus exporters —
@@ -28,7 +31,7 @@
 use iotse_apps::kernels::json::Json;
 
 /// Version tag written into every report; bump on schema changes.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One measured case.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +87,17 @@ pub struct BenchEntry {
     /// Detector/watchdog update calls in one run. Deterministic; see
     /// [`BenchEntry::alerts_fired`].
     pub detector_evals: u64,
+    /// Scenario files graded in one run (0 outside the `scenarios`
+    /// section). Deterministic: the committed corpus runs on a jobs-1
+    /// fleet. Absent in pre-v5 files, parsed as 0.
+    pub scenarios_run: u64,
+    /// Expectation rows graded across the corpus in one run.
+    /// Deterministic; see [`BenchEntry::scenarios_run`].
+    pub expectations_evaluated: u64,
+    /// Expectation rows that failed (0 for a healthy committed corpus —
+    /// the gate pins it at 0). Deterministic; see
+    /// [`BenchEntry::scenarios_run`].
+    pub expectations_failed: u64,
 }
 
 impl BenchEntry {
@@ -114,6 +128,12 @@ impl BenchEntry {
             ("alerts_fired", from_u64(self.alerts_fired)),
             ("series_points", from_u64(self.series_points)),
             ("detector_evals", from_u64(self.detector_evals)),
+            ("scenarios_run", from_u64(self.scenarios_run)),
+            (
+                "expectations_evaluated",
+                from_u64(self.expectations_evaluated),
+            ),
+            ("expectations_failed", from_u64(self.expectations_failed)),
         ])
     }
 }
@@ -184,7 +204,7 @@ impl BenchReport {
         Ok(BenchReport { schema, entries })
     }
 
-    /// Exact-match diff of the nine deterministic counters against
+    /// Exact-match diff of the fifteen deterministic counters against
     /// `baseline`: any missing case, extra case, or counter mismatch
     /// produces one line. Empty means the gate passes.
     #[must_use]
@@ -208,6 +228,17 @@ impl BenchReport {
                         ("alerts_fired", base.alerts_fired, cur.alerts_fired),
                         ("series_points", base.series_points, cur.series_points),
                         ("detector_evals", base.detector_evals, cur.detector_evals),
+                        ("scenarios_run", base.scenarios_run, cur.scenarios_run),
+                        (
+                            "expectations_evaluated",
+                            base.expectations_evaluated,
+                            cur.expectations_evaluated,
+                        ),
+                        (
+                            "expectations_failed",
+                            base.expectations_failed,
+                            cur.expectations_failed,
+                        ),
                     ] {
                         if b != c {
                             diffs.push(format!("{id}: {field} {b} -> {c}"));
@@ -316,6 +347,9 @@ fn parse_entry(doc: &Json) -> Result<BenchEntry, String> {
         alerts_fired: field_u64_or_zero(doc, "alerts_fired")?,
         series_points: field_u64_or_zero(doc, "series_points")?,
         detector_evals: field_u64_or_zero(doc, "detector_evals")?,
+        scenarios_run: field_u64_or_zero(doc, "scenarios_run")?,
+        expectations_evaluated: field_u64_or_zero(doc, "expectations_evaluated")?,
+        expectations_failed: field_u64_or_zero(doc, "expectations_failed")?,
     })
 }
 
@@ -344,6 +378,9 @@ mod tests {
             alerts_fired: 2,
             series_points: 14,
             detector_evals: 12,
+            scenarios_run: 11,
+            expectations_evaluated: 27,
+            expectations_failed: 0,
         }
     }
 
@@ -415,6 +452,25 @@ mod tests {
         assert_eq!(r.entries[0].alerts_fired, 0);
         assert_eq!(r.entries[0].series_points, 0);
         assert_eq!(r.entries[0].detector_evals, 0);
+    }
+
+    #[test]
+    fn pre_v5_files_parse_with_zero_scenario_counters() {
+        // A v4 baseline predates the scenarios section; all three scenario
+        // counters default to 0 so it stays diffable against v5 builds.
+        let v4 = r#"{"schema": 4, "entries": [
+            {"section":"telemetry","workload":"A2+A7@demo-faults","scheme":"instrumented",
+             "wall_ns_median":10,"wall_ns_min":9,"wall_ns_max":11,"iters":3,
+             "events":4000,"bus_bytes":48000,"allocs":0,"alloc_bytes":0,
+             "cache_hits":0,"cache_misses":0,
+             "faults_injected":17,"samples_dropped":4,"bytes_corrupted":96,
+             "alerts_fired":2,"series_points":14,"detector_evals":12}
+        ]}"#;
+        let r = BenchReport::parse(v4).expect("v4 parses");
+        assert_eq!(r.schema, 4);
+        assert_eq!(r.entries[0].scenarios_run, 0);
+        assert_eq!(r.entries[0].expectations_evaluated, 0);
+        assert_eq!(r.entries[0].expectations_failed, 0);
     }
 
     #[test]

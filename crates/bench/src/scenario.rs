@@ -1,0 +1,269 @@
+//! Scenario-file execution for the `scenario` binary: load `scenarios/*.toml`
+//! specs, run them on the fleet (via [`iotse_core::scenario_spec`] and the
+//! Table II catalog), and render the graded reports as text, JSON or CSV.
+//!
+//! Every renderer folds reports in input order and formats through
+//! deterministic paths only, so output is byte-identical across `--jobs`
+//! levels — the CI `scenarios` job `cmp`s a jobs-1 report against jobs-8.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use iotse_apps::catalog;
+use iotse_apps::kernels::json::Json;
+use iotse_core::scenario_spec::{run_spec, ScenarioSpec, SpecReport};
+
+/// Loads and validates one scenario file.
+///
+/// # Errors
+///
+/// Returns a rendered `path:line: message` string for unreadable files or
+/// spec errors.
+pub fn load(path: &Path) -> Result<ScenarioSpec, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    ScenarioSpec::parse(&text).map_err(|e| format!("{}:{}: {}", path.display(), e.line, e.message))
+}
+
+/// Loads, runs and grades one scenario file on a `jobs`-wide fleet.
+///
+/// # Errors
+///
+/// Propagates [`load`] errors.
+pub fn run_file(path: &Path, jobs: usize) -> Result<SpecReport, String> {
+    let spec = load(path)?;
+    Ok(run_spec(&spec, &catalog::app, jobs))
+}
+
+/// The `*.toml` files directly under `dir`, sorted by file name so corpus
+/// reports are independent of directory-iteration order.
+///
+/// # Errors
+///
+/// Returns a rendered string for unreadable directories or an empty corpus.
+pub fn corpus_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("{}: cannot read dir: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{}: no *.toml scenario files", dir.display()));
+    }
+    Ok(files)
+}
+
+/// Runs every scenario file under `dir` (sorted by name) and returns the
+/// graded reports in that order.
+///
+/// # Errors
+///
+/// Propagates [`corpus_files`]/[`run_file`] errors; the first bad file
+/// aborts the sweep.
+pub fn check_dir(dir: &Path, jobs: usize) -> Result<Vec<SpecReport>, String> {
+    corpus_files(dir)?
+        .iter()
+        .map(|p| run_file(p, jobs))
+        .collect()
+}
+
+/// Exact corpus-level counters, bench-gated in the `scenarios` suite
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusCounters {
+    /// Scenario files run.
+    pub scenarios_run: u64,
+    /// Expectation rows graded across the corpus.
+    pub expectations_evaluated: u64,
+    /// Expectation rows that failed (0 for a healthy committed corpus).
+    pub expectations_failed: u64,
+}
+
+/// Folds the corpus counters out of a report list.
+#[must_use]
+pub fn counters(reports: &[SpecReport]) -> CorpusCounters {
+    CorpusCounters {
+        scenarios_run: reports.len() as u64,
+        expectations_evaluated: reports.iter().map(|r| r.checks.len() as u64).sum(),
+        expectations_failed: reports
+            .iter()
+            .flat_map(|r| r.checks.iter())
+            .filter(|c| !c.passed)
+            .count() as u64,
+    }
+}
+
+fn schemes_list(report: &SpecReport) -> String {
+    report
+        .schemes
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Fixed-width text rendering of one or more scenario reports with a
+/// corpus footer (golden-tested; byte-stable).
+#[must_use]
+pub fn render_text(reports: &[SpecReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "scenario '{}' · schemes {} · {} devices × {} windows · {} runs",
+            r.name,
+            schemes_list(r),
+            r.devices,
+            r.windows,
+            r.runs
+        );
+        let _ = write!(
+            out,
+            "  energy {:.3} uJ · qos missed {}/{} · checksum 0x{:016x}",
+            r.total_uj, r.qos_missed, r.app_windows, r.checksum
+        );
+        if let Some(clean) = r.clean_total_uj {
+            let _ = write!(out, " · clean twin {clean:.3} uJ");
+        }
+        out.push('\n');
+        for c in &r.checks {
+            let _ = writeln!(
+                out,
+                "  [{}] {:<16} measured {} · bound {}",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.measured,
+                c.bound
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  result: {}",
+            if r.passed() { "PASS" } else { "FAIL" }
+        );
+    }
+    let c = counters(reports);
+    let _ = writeln!(
+        out,
+        "checked {} scenario(s) · {} expectation(s) · {} failed · {}",
+        c.scenarios_run,
+        c.expectations_evaluated,
+        c.expectations_failed,
+        if c.expectations_failed == 0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    out
+}
+
+fn report_json(r: &SpecReport) -> Json {
+    let mut pairs = vec![
+        ("name", Json::String(r.name.clone())),
+        ("runs", Json::Number(r.runs as f64)),
+        ("devices", Json::Number(f64::from(r.devices))),
+        ("windows", Json::Number(f64::from(r.windows))),
+        (
+            "schemes",
+            Json::array(r.schemes.iter().map(|s| Json::String(s.to_string()))),
+        ),
+        ("total_uj", Json::Number(r.total_uj)),
+    ];
+    if let Some(clean) = r.clean_total_uj {
+        pairs.push(("clean_total_uj", Json::Number(clean)));
+    }
+    pairs.extend([
+        ("qos_missed", Json::Number(r.qos_missed as f64)),
+        ("app_windows", Json::Number(r.app_windows as f64)),
+        ("checksum", Json::String(format!("0x{:016x}", r.checksum))),
+        ("passed", Json::Bool(r.passed())),
+        (
+            "checks",
+            Json::array(r.checks.iter().map(|c| {
+                Json::object([
+                    ("name", Json::String(c.name.to_string())),
+                    ("passed", Json::Bool(c.passed)),
+                    ("measured", Json::String(c.measured.clone())),
+                    ("bound", Json::String(c.bound.clone())),
+                ])
+            })),
+        ),
+    ]);
+    Json::object(pairs)
+}
+
+/// JSON rendering: corpus counters plus one object per scenario, in input
+/// order (golden-tested; the CI artifact and `cmp` gate use this form).
+#[must_use]
+pub fn render_json(reports: &[SpecReport]) -> String {
+    let c = counters(reports);
+    let doc = Json::object([
+        ("scenarios_run", Json::Number(c.scenarios_run as f64)),
+        (
+            "expectations_evaluated",
+            Json::Number(c.expectations_evaluated as f64),
+        ),
+        (
+            "expectations_failed",
+            Json::Number(c.expectations_failed as f64),
+        ),
+        ("scenarios", Json::array(reports.iter().map(report_json))),
+    ]);
+    let mut text = doc.to_text();
+    text.push('\n');
+    text
+}
+
+/// CSV rendering: one row per graded expectation, preceded by a `summary`
+/// row per scenario (golden-tested).
+#[must_use]
+pub fn render_csv(reports: &[SpecReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(
+        "scenario,schemes,devices,windows,runs,total_uj,qos_missed,app_windows,checksum,\
+         check,passed,measured,bound\n",
+    );
+    for r in reports {
+        let prefix = format!(
+            "{},{},{},{},{},{:.3},{},{},0x{:016x}",
+            r.name,
+            schemes_list(r).replace(',', ";"),
+            r.devices,
+            r.windows,
+            r.runs,
+            r.total_uj,
+            r.qos_missed,
+            r.app_windows,
+            r.checksum
+        );
+        let _ = writeln!(out, "{prefix},summary,{},,", r.passed());
+        for c in &r.checks {
+            let _ = writeln!(
+                out,
+                "{prefix},{},{},{},{}",
+                c.name, c.passed, c.measured, c.bound
+            );
+        }
+    }
+    out
+}
+
+/// Renders `reports` in the named format (`text`, `json` or `csv`).
+///
+/// # Errors
+///
+/// Returns a message naming the valid formats for anything else.
+pub fn render(reports: &[SpecReport], format: &str) -> Result<String, String> {
+    match format {
+        "text" => Ok(render_text(reports)),
+        "json" => Ok(render_json(reports)),
+        "csv" => Ok(render_csv(reports)),
+        other => Err(format!("unknown format '{other}' (text, json, csv)")),
+    }
+}

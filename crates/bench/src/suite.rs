@@ -1,6 +1,6 @@
 //! The deterministic microbenchmark suite behind the `bench` binary.
 //!
-//! Seven sections, mirroring the questions the ROADMAP's "fast as the
+//! Eight sections, mirroring the questions the ROADMAP's "fast as the
 //! hardware allows" goal keeps asking:
 //!
 //! * **executor** — full-scenario event throughput per scheme (the
@@ -22,6 +22,10 @@
 //!   counters (`alerts_fired`, `series_points`, `detector_evals`); the
 //!   `overhead` section's `telemetry` case prices the recording path's
 //!   wall time.
+//! * **scenarios** — the committed `scenarios/` corpus swept on a jobs-1
+//!   fleet, with exact-gated grading counters (`scenarios_run`,
+//!   `expectations_evaluated`, `expectations_failed` — the last pinned at
+//!   0: a failing committed scenario is a regression by definition).
 //!
 //! Every case reports wall time (advisory) plus the deterministic cost
 //! counters of [`crate::report`]. Heap counting needs the `bench` binary's
@@ -79,6 +83,12 @@ pub struct CaseOutput {
     pub series_points: u64,
     /// Detector/watchdog update calls (see [`CaseOutput::alerts_fired`]).
     pub detector_evals: u64,
+    /// Scenario files graded (nonzero only for `scenarios` cases).
+    pub scenarios_run: u64,
+    /// Expectation rows graded (see [`CaseOutput::scenarios_run`]).
+    pub expectations_evaluated: u64,
+    /// Expectation rows failed (see [`CaseOutput::scenarios_run`]).
+    pub expectations_failed: u64,
 }
 
 impl CaseOutput {
@@ -94,6 +104,9 @@ impl CaseOutput {
         alerts_fired: 0,
         series_points: 0,
         detector_evals: 0,
+        scenarios_run: 0,
+        expectations_evaluated: 0,
+        expectations_failed: 0,
     };
 
     fn of(result: &RunResult) -> CaseOutput {
@@ -135,7 +148,7 @@ impl CaseOutput {
 /// One benchmarkable case.
 pub struct Case {
     /// Suite section (`executor`, `kernel`, `fleet`, `overhead`,
-    /// `compute_cache`, `robustness`).
+    /// `compute_cache`, `robustness`, `telemetry`, `scenarios`).
     pub section: &'static str,
     /// Workload label.
     pub workload: String,
@@ -345,6 +358,29 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
+    // (h) Scenario corpus: every committed scenarios/*.toml graded on a
+    // jobs-1 fleet. The counters are a pure function of the corpus and the
+    // model, so the baseline gates them exactly — a scenario that starts
+    // failing its own expectations moves expectations_failed off 0 and
+    // trips the gate even before the CI `scenarios` job runs.
+    out.push(Case {
+        section: "scenarios",
+        workload: "corpus".into(),
+        scheme: "check".into(),
+        count_allocs: true,
+        run: Box::new(move || {
+            let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+            let reports = crate::scenario::check_dir(&dir, 1).expect("scenario corpus sweep");
+            let c = crate::scenario::counters(&reports);
+            CaseOutput {
+                scenarios_run: c.scenarios_run,
+                expectations_evaluated: c.expectations_evaluated,
+                expectations_failed: c.expectations_failed,
+                ..CaseOutput::NONE
+            }
+        }),
+    });
+
     out
 }
 
@@ -435,6 +471,9 @@ pub fn run_suite_filtered(
             alerts_fired: warm.alerts_fired,
             series_points: warm.series_points,
             detector_evals: warm.detector_evals,
+            scenarios_run: warm.scenarios_run,
+            expectations_evaluated: warm.expectations_evaluated,
+            expectations_failed: warm.expectations_failed,
         });
     }
     report
@@ -447,7 +486,7 @@ pub fn render_table(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7} {:>7} {:>6}",
+        "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7} {:>7} {:>6} {:>5} {:>7} {:>6}",
         "section",
         "workload",
         "scheme",
@@ -463,12 +502,15 @@ pub fn render_table(report: &BenchReport) -> String {
         "corrupted",
         "alerts",
         "points",
-        "evals"
+        "evals",
+        "scen",
+        "expects",
+        "failed"
     );
     for e in &report.entries {
         let _ = writeln!(
             out,
-            "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7} {:>7} {:>6}",
+            "{:<13} {:<18} {:<13} {:>12} {:>10} {:>10} {:>8} {:>12} {:>7} {:>7} {:>8} {:>8} {:>9} {:>7} {:>7} {:>6} {:>5} {:>7} {:>6}",
             e.section,
             e.workload,
             e.scheme,
@@ -484,7 +526,10 @@ pub fn render_table(report: &BenchReport) -> String {
             e.bytes_corrupted,
             e.alerts_fired,
             e.series_points,
-            e.detector_evals
+            e.detector_evals,
+            e.scenarios_run,
+            e.expectations_evaluated,
+            e.expectations_failed
         );
     }
     out
@@ -529,6 +574,7 @@ mod tests {
             cases.iter().filter(|c| c.section == "telemetry").count(),
             Scheme::ALL.len()
         );
+        assert_eq!(cases.iter().filter(|c| c.section == "scenarios").count(), 1);
         // Case ids are unique — the baseline gate matches on them.
         let mut ids: Vec<String> = cases
             .iter()
@@ -610,6 +656,20 @@ mod tests {
             .find(|c| c.scheme == "beam")
             .expect("beam case");
         assert_eq!((beam.run)().alerts_fired, 0, "BEAM must stay quiet");
+    }
+
+    #[test]
+    fn scenarios_case_sweeps_the_committed_corpus() {
+        let mut case = cases()
+            .into_iter()
+            .find(|c| c.section == "scenarios")
+            .expect("scenarios case");
+        let out = (case.run)();
+        assert!(out.scenarios_run >= 10, "corpus shrank: {out:?}");
+        assert!(out.expectations_evaluated > out.scenarios_run);
+        assert_eq!(out.expectations_failed, 0, "a committed scenario fails");
+        // Grading is a pure function of the corpus: a second sweep agrees.
+        assert_eq!((case.run)(), out);
     }
 
     #[test]

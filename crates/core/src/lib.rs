@@ -28,6 +28,10 @@
 //! * [`robustness`] — scripted-fault robustness grading: runs every scheme
 //!   clean and faulted, grades pluggable expectations, emits a
 //!   [`robustness::RobustnessReport`].
+//! * [`scenario_spec`] — the declarative scenario language: `scenarios/*.toml`
+//!   files declaring device populations, weighted app mixes, schemes, seeds,
+//!   faults and expectations, compiled onto the fleet runner and graded into
+//!   a [`scenario_spec::SpecReport`].
 //! * [`result`] — energy breakdowns, per-app QoS/processing reports,
 //!   speedups.
 //!
@@ -57,6 +61,7 @@ pub mod mcu;
 pub mod result;
 pub mod robustness;
 pub mod runner;
+pub mod scenario_spec;
 pub mod scheme;
 pub mod telemetry;
 pub mod workload;
@@ -66,6 +71,7 @@ pub use executor::Scenario;
 pub use result::{AppFlow, RunResult};
 pub use robustness::{Expectation, RobustnessReport};
 pub use runner::{fleet_window_percentiles, run_fleet, Fleet, WindowPercentiles};
+pub use scenario_spec::{run_spec, ScenarioSpec, SpecCheck, SpecError, SpecReport};
 pub use scheme::Scheme;
 pub use telemetry::{Telemetry, TelemetryConfig};
 pub use workload::{AppId, AppOutput, ResourceProfile, SensorUsage, WindowData, Workload};

@@ -191,6 +191,7 @@ pub fn check_files(root: &Path, mut files: Vec<SourceFile>) -> Vec<Finding> {
         rules::kernel_alloc::check(file, &mut findings);
     }
     rules::table1::check(root, &files, &mut findings);
+    rules::scenario_files::check(root, &mut findings);
 
     let analysis = Analysis::build(root, &files);
     rules::memo_purity::check(&analysis, &mut findings);

@@ -3,7 +3,9 @@
 //! Each rule is one module exporting an `ID`, a short `SUMMARY`, and a
 //! `check` function. Per-file rules take one [`SourceFile`]; the
 //! paper-constant audit ([`table1`]) takes the whole workspace because it
-//! joins sources against `specs/table1.toml`; the call-graph rules
+//! joins sources against `specs/table1.toml`; the scenario-corpus audit
+//! ([`scenario_files`]) reads `scenarios/*.toml` off the root directly;
+//! the call-graph rules
 //! ([`memo_purity`], [`seed_streams`], [`hot_path`]) take the
 //! [`crate::Analysis`] built from the symbol-table/effect pipeline.
 //!
@@ -22,6 +24,7 @@
 //! | `IOTSE-M11` | memoizable kernels must be transitively pure |
 //! | `IOTSE-S12` | `SeedTree` split labels must be auditable and disjoint |
 //! | `IOTSE-H13` | hot-path functions must be transitively allocation-free |
+//! | `IOTSE-F14` | scenario corpus files must satisfy the spec grammar |
 //!
 //! [`SourceFile`]: crate::scan::SourceFile
 
@@ -34,6 +37,7 @@ pub mod hot_path;
 pub mod kernel_alloc;
 pub mod memo_purity;
 pub mod metric_names;
+pub mod scenario_files;
 pub mod seed_streams;
 pub mod table1;
 pub mod unwrap_panic;
@@ -60,6 +64,7 @@ pub const ALL: &[(&str, &str)] = &[
     (memo_purity::ID, memo_purity::SUMMARY),
     (seed_streams::ID, seed_streams::SUMMARY),
     (hot_path::ID, hot_path::SUMMARY),
+    (scenario_files::ID, scenario_files::SUMMARY),
 ];
 
 /// `(id, kind, rationale)` — the catalogue detail behind `rules
@@ -130,6 +135,11 @@ pub const DETAILS: &[(&str, &str, &str)] = &[
         "IOTSE-H13",
         "call graph",
         "functions annotated `// iotse-lint: hot-path` must have an allocation-free transitive call graph; deliberate allocations are waived site-by-site with `// lint: <reason>`, turning the bench alloc counters into a structural guarantee.",
+    ),
+    (
+        "IOTSE-F14",
+        "workspace audit",
+        "every `scenarios/*.toml` must parse against the spec grammar — known sections and keys only, explicit seeds in `[scenario]` and each `[[fault]]`, strictly positive mix weights, app ids from the Table 2 registry, scheme names from the five implemented schemes — so a malformed corpus file fails lint before the slower `scenario check` sweep runs it.",
     ),
 ];
 

@@ -297,5 +297,6 @@ fn value_str(v: &Value) -> String {
         Value::Num(n) => format!("{n}"),
         Value::Str(s) => s.clone(),
         Value::Bool(b) => format!("{b}"),
+        Value::List(items) => items.join(", "),
     }
 }

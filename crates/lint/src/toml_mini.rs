@@ -1,8 +1,9 @@
-//! A miniature TOML reader, just big enough for `specs/table1.toml`.
+//! A miniature TOML reader for `specs/table1.toml` and `scenarios/*.toml`.
 //!
 //! Supports `[section]` tables, `[[section]]` arrays of tables, and
 //! `key = value` lines where the value is a bool, a number, a quoted string,
-//! or a quoted **numeric expression** (products/quotients of literals, e.g.
+//! a single-line `["a", "b"]` list of quoted strings, or a quoted **numeric
+//! expression** (products/quotients of literals, e.g.
 //! `"5.0 * 13.0 / 77.0"`). Expressions let the ground-truth file state a
 //! fitted constant exactly the way the source does, so the comparison is
 //! bit-exact instead of decimal-rounded.
@@ -18,6 +19,8 @@ pub enum Value {
     Num(f64),
     /// A non-numeric quoted string.
     Str(String),
+    /// A single-line list of quoted strings.
+    List(Vec<String>),
 }
 
 /// A `key = value` table with per-key line numbers.
@@ -109,6 +112,20 @@ fn parse_value(v: &str) -> Result<Value, String> {
         "true" => return Ok(Value::Bool(true)),
         "false" => return Ok(Value::Bool(false)),
         _ => {}
+    }
+    if let Some(inner) = v.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let inner = inner.trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in inner.split(',') {
+                let item = item.trim();
+                let Some(s) = item.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+                    return Err(format!("list item is not a quoted string: `{item}`"));
+                };
+                items.push(s.to_string());
+            }
+        }
+        return Ok(Value::List(items));
     }
     if let Some(inner) = v.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
         // A quoted numeric expression evaluates to a number; anything else
@@ -211,6 +228,16 @@ mod tests {
         assert_eq!(err.0, 2);
         let err = parse("x = 1\n").expect_err("no section");
         assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn lists_parse_and_reject_unquoted_items() {
+        let doc = parse("[m]\napps = [\"A1\", \"A2\"]\nnone = []\n").expect("parses");
+        let (_, m) = &doc.tables["m"];
+        assert_eq!(m["apps"].1, Value::List(vec!["A1".into(), "A2".into()]));
+        assert_eq!(m["none"].1, Value::List(Vec::new()));
+        let err = parse("[m]\napps = [A1]\n").expect_err("unquoted");
+        assert_eq!(err.0, 2);
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! ```text
 //! cargo run --example smart_home
 //! ```
+//!
+//! The same deployment exists as data: `scenarios/smart_home.toml` runs
+//! this mix through the declarative scenario language with its energy
+//! budget, QoS bound, and output checksum graded as expectations —
+//! `cargo run --release -p iotse-bench --bin scenario -- run
+//! scenarios/smart_home.toml`.
 
 use iotse::prelude::*;
 
