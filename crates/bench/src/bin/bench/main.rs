@@ -5,7 +5,7 @@
 //!     [--section NAME] [--out PATH] [--check PATH]
 //! ```
 //!
-//! Runs the eight suite sections (executor, kernel, fleet, overhead,
+//! Runs the nine suite sections (executor, queue, kernel, fleet, overhead,
 //! compute_cache, robustness, telemetry, scenarios), prints a table, and
 //! optionally writes the
 //! stable-schema JSON report (`--out`) or gates the deterministic counters

@@ -1,11 +1,15 @@
 //! The deterministic microbenchmark suite behind the `bench` binary.
 //!
-//! Eight sections, mirroring the questions the ROADMAP's "fast as the
+//! Nine sections, mirroring the questions the ROADMAP's "fast as the
 //! hardware allows" goal keeps asking:
 //!
 //! * **executor** — full-scenario event throughput per scheme (the
 //!   `figures`-equivalent load: real Table II apps through the real
 //!   executor).
+//! * **queue** — raw event-engine schedule+drain throughput of dense
+//!   periodic ticks at 1k/100k/1M pending events, the timer wheel vs the
+//!   reference binary heap (see `iotse_sim::queue`), with the fired-event
+//!   count gated exactly.
 //! * **kernel** — per-kernel runtime of all eleven Table 2 workloads,
 //!   computing over a real sensor window sampled from [`PhysicalWorld`].
 //! * **fleet** — scaling of the scenario fleet at 1/2/4/8 worker threads.
@@ -40,8 +44,9 @@ use iotse_core::runner::Fleet;
 use iotse_core::workload::{WindowData, Workload};
 use iotse_core::{AppId, RunResult, Scenario, Scheme};
 use iotse_sensors::world::{PhysicalWorld, WorldConfig};
+use iotse_sim::engine::{Engine, RunOutcome};
 use iotse_sim::rng::SeedTree;
-use iotse_sim::time::SimTime;
+use iotse_sim::time::{SimDuration, SimTime};
 
 use crate::report::{BenchEntry, BenchReport};
 use crate::stopwatch::{measure_with, SampleBudget};
@@ -58,6 +63,15 @@ pub const SUITE_APPS: [AppId; 2] = [AppId::A2, AppId::A7];
 /// The app pair behind the `compute_cache` section: the two heaviest
 /// memoizable Table 2 kernels, where cross-scheme reuse pays most.
 pub const CACHE_APPS: [AppId; 2] = [AppId::A4, AppId::A9];
+/// Pending-event rungs measured by the `queue` section.
+pub const QUEUE_RUNGS: [(usize, &str); 3] = [
+    (1_000, "pending-1k"),
+    (100_000, "pending-100k"),
+    (1_000_000, "pending-1m"),
+];
+/// Devices sharing each tick instant in the `queue` section — same-instant
+/// ties exercise the engine's batched same-tick drain.
+const QUEUE_DEVICES: usize = 4;
 
 /// The deterministic output of one case run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,7 +161,7 @@ impl CaseOutput {
 
 /// One benchmarkable case.
 pub struct Case {
-    /// Suite section (`executor`, `kernel`, `fleet`, `overhead`,
+    /// Suite section (`executor`, `queue`, `kernel`, `fleet`, `overhead`,
     /// `compute_cache`, `robustness`, `telemetry`, `scenarios`).
     pub section: &'static str,
     /// Workload label.
@@ -221,7 +235,49 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (b) Per-kernel runtimes for all eleven Table 2 workloads.
+    // (b) Raw event-engine throughput: schedule + drain n periodic ticks
+    // (QUEUE_DEVICES per instant, 1 ms apart — the paper's dominant
+    // traffic shape), timer wheel vs reference heap. The engine drains to
+    // empty, so `events` is exactly n and the baseline gates it bitwise.
+    fn queue_tick(fired: &mut u64, _: &mut Engine<u64>, _: u64, _: u64) {
+        *fired += 1;
+    }
+    for (n, label) in QUEUE_RUNGS {
+        for (backend, reference) in [("wheel", false), ("heap", true)] {
+            out.push(Case {
+                section: "queue",
+                workload: label.into(),
+                scheme: backend.into(),
+                count_allocs: true,
+                run: Box::new(move || {
+                    let mut engine: Engine<u64> = if reference {
+                        Engine::reference_with_capacity(n)
+                    } else {
+                        Engine::with_capacity(n)
+                    };
+                    engine.schedule_call_batch(
+                        "bench_tick",
+                        queue_tick,
+                        (0..n).map(|i| {
+                            let t = SimTime::ZERO
+                                + SimDuration::from_micros(1_000) * ((i / QUEUE_DEVICES) as u64);
+                            (t, i as u64, 0)
+                        }),
+                    );
+                    let mut fired = 0u64;
+                    let outcome = engine.run(&mut fired);
+                    assert!(matches!(outcome, RunOutcome::Drained));
+                    assert_eq!(fired, n as u64, "queue case lost events");
+                    CaseOutput {
+                        events: engine.events_executed(),
+                        ..CaseOutput::NONE
+                    }
+                }),
+            });
+        }
+    }
+
+    // (c) Per-kernel runtimes for all eleven Table 2 workloads.
     for id in AppId::ALL {
         let mut app = catalog::app(id, SUITE_SEED);
         let input = window_input(app.as_ref(), SUITE_SEED);
@@ -237,7 +293,7 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (c) Fleet scaling: the five-scheme scenario set across worker counts.
+    // (d) Fleet scaling: the five-scheme scenario set across worker counts.
     for jobs in FLEET_RUNGS {
         out.push(Case {
             section: "fleet",
@@ -251,7 +307,7 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (d) Instrumentation overhead: bare vs. fully-observed run, plus the
+    // (e) Instrumentation overhead: bare vs. fully-observed run, plus the
     // telemetry layer alone — its wall cost is the advisory price of the
     // windowed recording path.
     #[derive(Clone, Copy)]
@@ -284,7 +340,7 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (e) Cross-scheme memoization: the five-scheme fleet over the two
+    // (f) Cross-scheme memoization: the five-scheme fleet over the two
     // heaviest memoizable kernels, always from a cleared compute cache so
     // the hit/miss counters are a pure function of the scenario set.
     for (label, cached) in [("on", true), ("off", false)] {
@@ -317,7 +373,7 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (f) Robustness: the suite scenario per scheme under the committed
+    // (g) Robustness: the suite scenario per scheme under the committed
     // demo fault scripts (every fault kind fires). The fault counters are
     // a pure replay of the seeded plan, so the baseline gates them exactly.
     for scheme in Scheme::ALL {
@@ -336,7 +392,7 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (g) Windowed telemetry: the suite scenario per scheme with telemetry
+    // (h) Windowed telemetry: the suite scenario per scheme with telemetry
     // on and the demo fault scripts injected, so the interrupt-storm window
     // exercises the CUSUM detectors. Alerts, points and evals are pure
     // folds over the deterministic series — the baseline gates them exactly
@@ -358,7 +414,7 @@ pub fn cases() -> Vec<Case> {
         });
     }
 
-    // (h) Scenario corpus: every committed scenarios/*.toml graded on a
+    // (i) Scenario corpus: every committed scenarios/*.toml graded on a
     // jobs-1 fleet. The counters are a pure function of the corpus and the
     // model, so the baseline gates them exactly — a scenario that starts
     // failing its own expectations moves expectations_failed off 0 and
@@ -551,6 +607,10 @@ mod tests {
             Scheme::ALL.len()
         );
         assert_eq!(
+            cases.iter().filter(|c| c.section == "queue").count(),
+            QUEUE_RUNGS.len() * 2 // wheel + reference heap per rung
+        );
+        assert_eq!(
             cases.iter().filter(|c| c.section == "kernel").count(),
             AppId::ALL.len()
         );
@@ -583,6 +643,20 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), cases.len());
+    }
+
+    #[test]
+    fn queue_cases_fire_every_scheduled_event_on_both_backends() {
+        let mut queue_cases: Vec<_> = cases()
+            .into_iter()
+            .filter(|c| c.section == "queue" && c.workload == "pending-1k")
+            .collect();
+        assert_eq!(queue_cases.len(), 2);
+        for case in &mut queue_cases {
+            let out = (case.run)();
+            assert_eq!(out.events, 1_000, "{}: wrong event count", case.scheme);
+            assert_eq!((case.run)(), out, "queue case must replay bitwise");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::admission::classify;
 use crate::calibration::Calibration;
 use crate::cpu::{CpuAccount, GapPolicy, SleepPolicy};
 use crate::mcu::McuAccount;
+use crate::power::PowerBank;
 use crate::result::{AppFlow, AppRunReport, RoutineDurations, RunResult, WindowOutcome};
 use crate::scheme::Scheme;
 use crate::telemetry::{TelemetryConfig, TelemetryState};
@@ -60,6 +61,7 @@ pub struct Scenario {
     telemetry: Option<TelemetryConfig>,
     compute_cache: bool,
     faults: Vec<FaultScript>,
+    reference_engine: bool,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -92,6 +94,7 @@ impl Scenario {
             telemetry: None,
             compute_cache: true,
             faults: Vec::new(),
+            reference_engine: false,
         }
     }
 
@@ -204,6 +207,17 @@ impl Scenario {
         self
     }
 
+    /// Runs the scenario on the reference binary-heap event queue instead
+    /// of the timer wheel (see [`iotse_sim::queue::EventQueue::reference`]).
+    /// Results are bitwise identical either way — the equivalence suite
+    /// pins exactly that — so this exists for the wheel-vs-heap oracle
+    /// tests and A/B benchmarks.
+    #[must_use]
+    pub fn with_reference_engine(mut self) -> Self {
+        self.reference_engine = true;
+        self
+    }
+
     /// Runs the scenario to completion.
     ///
     /// # Panics
@@ -226,6 +240,7 @@ impl Scenario {
             telemetry,
             compute_cache,
             faults,
+            reference_engine,
         } = self;
         // An inconsistent calibration is a scenario-construction bug, part
         // of run()'s documented panic contract above.
@@ -247,7 +262,10 @@ impl Scenario {
 
         // Assign flows, then let MCU memory veto offloads (greedy, in app
         // order; §III-B's "fits in the MCU's capabilities").
-        let mut mcu = McuAccount::new(cal.clone(), SimTime::ZERO);
+        // One two-lane power bank holds both boards' watermarks and phase
+        // residencies as contiguous slabs (see `crate::power`).
+        let mut power: PowerBank<2> = PowerBank::new();
+        let mut mcu = McuAccount::new(cal.clone(), &mut power, SimTime::ZERO);
         if record_timeline {
             mcu = mcu.with_timeline();
         }
@@ -292,7 +310,7 @@ impl Scenario {
                 Routine::DataTransfer
             },
         };
-        let mut cpu = CpuAccount::new(cal.clone(), policy, SimTime::ZERO);
+        let mut cpu = CpuAccount::new(cal.clone(), policy, &mut power, SimTime::ZERO);
         if record_timeline {
             cpu = cpu.with_timeline();
         }
@@ -304,6 +322,7 @@ impl Scenario {
         let mut exec = Exec {
             world: PhysicalWorld::new(&seeds, world_cfg),
             cal,
+            power,
             cpu,
             mcu,
             ledger: EnergyLedger::new(),
@@ -370,7 +389,11 @@ impl Scenario {
             .iter()
             .map(|g| g.samples_per_window as usize * windows as usize)
             .sum();
-        let mut engine: Engine<Exec> = Engine::with_capacity(total_ticks);
+        let mut engine: Engine<Exec> = if reference_engine {
+            Engine::reference_with_capacity(total_ticks)
+        } else {
+            Engine::with_capacity(total_ticks)
+        };
         for (gi, g) in exec.groups.iter().enumerate() {
             let window_len = exec.apps[g.members[0]].window_len;
             let interval = window_len / u64::from(g.samples_per_window);
@@ -412,10 +435,10 @@ impl Scenario {
         // Close out the books at the horizon (or later, if the last task
         // overran it).
         let end = horizon
-            .max(exec.cpu.busy_until())
-            .max(exec.mcu.busy_until());
-        exec.cpu.finish(&mut exec.ledger, end);
-        exec.mcu.finish(&mut exec.ledger, end);
+            .max(exec.cpu.busy_until(&exec.power))
+            .max(exec.mcu.busy_until(&exec.power));
+        exec.cpu.finish(&mut exec.power, &mut exec.ledger, end);
+        exec.mcu.finish(&mut exec.power, &mut exec.ledger, end);
 
         // The close span absorbs everything charged at book-closing (tail
         // gap/idle energy) plus any floating-point residue, so the folded
@@ -451,7 +474,7 @@ impl Scenario {
 
         // End-of-run counters come straight from the totals the executor
         // already tracks; only per-event histograms observe on the hot path.
-        let mcu_stats = exec.mcu.stats();
+        let mcu_stats = exec.mcu.stats(&exec.power);
         let fault_stats = exec
             .faults
             .as_ref()
@@ -502,7 +525,7 @@ impl Scenario {
             seed,
             duration: end - SimTime::ZERO,
             ledger: exec.ledger,
-            cpu: exec.cpu.stats(),
+            cpu: exec.cpu.stats(&exec.power),
             mcu: mcu_stats,
             events_executed: engine.events_executed(),
             interrupts: exec.interrupts,
@@ -676,6 +699,8 @@ impl MetricsState {
 struct Exec {
     world: PhysicalWorld,
     cal: Calibration,
+    /// Shared struct-of-arrays power state: lane 0 = MCU, lane 1 = CPU.
+    power: PowerBank<2>,
     cpu: CpuAccount,
     mcu: McuAccount,
     ledger: EnergyLedger,
@@ -772,6 +797,7 @@ impl Exec {
         let mut read_end = now;
         for _attempt in 0..MAX_READ_RETRIES {
             let (_, end) = self.mcu.task(
+                &mut self.power,
                 &mut self.ledger,
                 read_end,
                 read_cost,
@@ -917,8 +943,8 @@ impl Exec {
         }
 
         let tick_end = now
-            .max(self.cpu.busy_until())
-            .max(self.mcu.busy_until())
+            .max(self.cpu.busy_until(&self.power))
+            .max(self.mcu.busy_until(&self.power))
             .max(self.link_busy_until);
         self.trace.exit_span(tick, tick_end);
         self.groups[group_idx].members = members;
@@ -959,6 +985,7 @@ impl Exec {
             .trace
             .enter_span(ready, TraceKind::Interrupt, "iotse_core_interrupt");
         let (_, raise_end) = self.mcu.task(
+            &mut self.power,
             &mut self.ledger,
             ready,
             self.cal.mcu_interrupt_raise,
@@ -966,6 +993,7 @@ impl Exec {
             None,
         );
         let (_, handled) = self.cpu.task(
+            &mut self.power,
             &mut self.ledger,
             raise_end,
             self.cal.cpu_interrupt_handling,
@@ -1012,14 +1040,18 @@ impl Exec {
             m.reg.observe(m.transfer_bytes, bytes as f64);
         }
         let end = if self.cal.dma_enabled {
-            let start = ready.max(self.cpu.busy_until()).max(self.mcu.busy_until());
+            let start = ready
+                .max(self.cpu.busy_until(&self.power))
+                .max(self.mcu.busy_until(&self.power));
             let (_, cpu_end) = self.cpu.task(
+                &mut self.power,
                 &mut self.ledger,
                 start,
                 self.cal.dma_setup,
                 Routine::DataTransfer,
             );
             self.mcu.task(
+                &mut self.power,
                 &mut self.ledger,
                 start,
                 self.cal.dma_setup,
@@ -1037,14 +1069,24 @@ impl Exec {
             wire_end
         } else {
             let start = ready
-                .max(self.cpu.busy_until())
-                .max(self.mcu.busy_until())
+                .max(self.cpu.busy_until(&self.power))
+                .max(self.mcu.busy_until(&self.power))
                 .max(self.link_busy_until);
-            let (_, cpu_end) = self
-                .cpu
-                .task(&mut self.ledger, start, dur, Routine::DataTransfer);
-            self.mcu
-                .task(&mut self.ledger, start, dur, Routine::DataTransfer, None);
+            let (_, cpu_end) = self.cpu.task(
+                &mut self.power,
+                &mut self.ledger,
+                start,
+                dur,
+                Routine::DataTransfer,
+            );
+            self.mcu.task(
+                &mut self.power,
+                &mut self.ledger,
+                start,
+                dur,
+                Routine::DataTransfer,
+                None,
+            );
             self.link_busy_until = cpu_end;
             self.ledger.charge(
                 Device::Link,
@@ -1072,9 +1114,13 @@ impl Exec {
         let span = self
             .trace
             .enter_span(pw.ready, TraceKind::Compute, "iotse_core_compute");
-        let (_, end) = self
-            .cpu
-            .task(&mut self.ledger, pw.ready, compute, Routine::AppCompute);
+        let (_, end) = self.cpu.task(
+            &mut self.power,
+            &mut self.ledger,
+            pw.ready,
+            compute,
+            Routine::AppCompute,
+        );
         self.settle(span);
         self.trace.exit_span(span, end);
         self.finish_window(app, pw, compute, end);
@@ -1107,9 +1153,13 @@ impl Exec {
         let span = self
             .trace
             .enter_span(tx_end, TraceKind::Compute, "iotse_core_compute");
-        let (_, end) = self
-            .cpu
-            .task(&mut self.ledger, tx_end, compute, Routine::AppCompute);
+        let (_, end) = self.cpu.task(
+            &mut self.power,
+            &mut self.ledger,
+            tx_end,
+            compute,
+            Routine::AppCompute,
+        );
         self.settle(span);
         self.trace.exit_span(span, end);
         self.finish_window(app, pw, compute, end);
@@ -1125,6 +1175,7 @@ impl Exec {
             .trace
             .enter_span(pw.ready, TraceKind::Compute, "iotse_core_compute");
         let (_, mcu_done) = self.mcu.task(
+            &mut self.power,
             &mut self.ledger,
             pw.ready,
             compute,

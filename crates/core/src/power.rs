@@ -1,0 +1,221 @@
+//! Struct-of-arrays power-state storage.
+//!
+//! [`CpuAccount`](crate::cpu::CpuAccount) and
+//! [`McuAccount`](crate::mcu::McuAccount) used to carry their own scalar
+//! watermarks and per-phase duration counters. At population scale (ROADMAP
+//! item 2) that layout scatters the integration state of N devices across N
+//! structs; energy integration — a dot product of per-phase residency times
+//! against per-phase power draws — then striding through pointers instead of
+//! streaming a slab.
+//!
+//! [`PowerBank`] turns the layout inside out: one bank owns the
+//! `accounted_until`/`busy_until` watermarks, the phase-residency slab
+//! (`[[u64 ns; NUM_PHASES]; LANES]`, contiguous), and the sleep-episode
+//! counters for every *lane*, and each account keeps only a [`Lane`] handle
+//! plus its non-phase state (calibration, policy, buffer bookkeeping,
+//! optional timeline). All residency arithmetic is integer nanoseconds, so
+//! the stats an account reports are bit-for-bit what the old scalar fields
+//! held, and the ledger-charging code is untouched — `RunResult` stays
+//! byte-identical.
+//!
+//! The phase axis is shared across device kinds so one slab serves both
+//! boards: [`P_BUSY`], [`P_IDLE`], [`P_TRANS`], [`P_SLEEP`], [`P_DEEP`].
+//! The MCU simply never touches the transition/deep rows.
+
+use iotse_energy::units::{Energy, Power};
+use iotse_sim::time::{SimDuration, SimTime};
+
+/// Phase row: executing a task.
+pub const P_BUSY: usize = 0;
+/// Phase row: awake but waiting.
+pub const P_IDLE: usize = 1;
+/// Phase row: sleep transition (CPU only).
+pub const P_TRANS: usize = 2;
+/// Phase row: light sleep.
+pub const P_SLEEP: usize = 3;
+/// Phase row: deep sleep (CPU only).
+pub const P_DEEP: usize = 4;
+/// Number of phase rows per lane.
+pub const NUM_PHASES: usize = 5;
+
+/// A handle naming one lane of a [`PowerBank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane(usize);
+
+impl Lane {
+    /// The lane's index within its bank.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Struct-of-arrays power-state storage for up to `LANES` devices.
+///
+/// Inline arrays (no heap): a bank of 2 lanes is 2 cache lines of state, and
+/// a population-scale bank of thousands of lanes is one contiguous
+/// allocation-free slab per field, which is what lets
+/// [`PowerBank::integrate`] compile to a streaming dot product.
+#[derive(Debug, Clone)]
+pub struct PowerBank<const LANES: usize> {
+    accounted_until: [SimTime; LANES],
+    busy_until: [SimTime; LANES],
+    /// Per-lane phase residency in nanoseconds, rows per [`NUM_PHASES`].
+    phase_ns: [[u64; NUM_PHASES]; LANES],
+    sleep_episodes: [u64; LANES],
+    next_lane: usize,
+}
+
+impl<const LANES: usize> PowerBank<LANES> {
+    /// Creates an empty bank; lanes are claimed with [`PowerBank::lane`].
+    #[must_use]
+    pub fn new() -> Self {
+        PowerBank {
+            accounted_until: [SimTime::ZERO; LANES],
+            busy_until: [SimTime::ZERO; LANES],
+            phase_ns: [[0; NUM_PHASES]; LANES],
+            sleep_episodes: [0; LANES],
+            next_lane: 0,
+        }
+    }
+
+    /// Claims the next free lane, with both watermarks at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all `LANES` lanes are already claimed.
+    pub fn lane(&mut self, start: SimTime) -> Lane {
+        assert!(
+            self.next_lane < LANES,
+            "power bank exhausted: {LANES} lanes"
+        );
+        let lane = Lane(self.next_lane);
+        self.next_lane += 1;
+        self.accounted_until[lane.0] = start;
+        self.busy_until[lane.0] = start;
+        lane
+    }
+
+    /// The instant up to which the lane's time has been accounted.
+    #[must_use]
+    pub fn accounted_until(&self, lane: Lane) -> SimTime {
+        self.accounted_until[lane.0]
+    }
+
+    /// When the lane's device becomes free.
+    #[must_use]
+    pub fn busy_until(&self, lane: Lane) -> SimTime {
+        self.busy_until[lane.0]
+    }
+
+    /// Sets the lane's busy watermark.
+    pub fn set_busy_until(&mut self, lane: Lane, at: SimTime) {
+        self.busy_until[lane.0] = at;
+    }
+
+    /// Sets the lane's accounted watermark.
+    pub fn set_accounted_until(&mut self, lane: Lane, at: SimTime) {
+        self.accounted_until[lane.0] = at;
+    }
+
+    /// Adds `d` to the lane's residency in phase row `phase`.
+    // iotse-lint: hot-path
+    pub fn add_phase(&mut self, lane: Lane, phase: usize, d: SimDuration) {
+        self.phase_ns[lane.0][phase] += d.as_nanos();
+    }
+
+    /// The lane's accumulated residency in phase row `phase`.
+    #[must_use]
+    pub fn phase(&self, lane: Lane, phase: usize) -> SimDuration {
+        SimDuration::from_nanos(self.phase_ns[lane.0][phase])
+    }
+
+    /// Bumps the lane's sleep-episode counter.
+    pub fn add_sleep_episode(&mut self, lane: Lane) {
+        self.sleep_episodes[lane.0] += 1;
+    }
+
+    /// The lane's sleep-episode count.
+    #[must_use]
+    pub fn sleep_episodes(&self, lane: Lane) -> u64 {
+        self.sleep_episodes[lane.0]
+    }
+
+    /// Integrates the lane's phase residencies against a per-phase power
+    /// vector: `Σ powers[p] × residency[p]`. With the residencies stored as
+    /// one contiguous `u64` row this is a straight-line dot product — the
+    /// vectorizable form the SoA layout exists for.
+    #[must_use]
+    pub fn integrate(&self, lane: Lane, powers: &[Power; NUM_PHASES]) -> Energy {
+        let row = &self.phase_ns[lane.0];
+        let mut total = Energy::ZERO;
+        for (p, &ns) in powers.iter().zip(row.iter()) {
+            total += *p * SimDuration::from_nanos(ns);
+        }
+        total
+    }
+}
+
+impl<const LANES: usize> Default for PowerBank<LANES> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_claimed_in_order_with_independent_watermarks() {
+        let mut bank: PowerBank<2> = PowerBank::new();
+        let a = bank.lane(SimTime::ZERO);
+        let b = bank.lane(SimTime::from_millis(3));
+        assert_eq!((a.index(), b.index()), (0, 1));
+        assert_eq!(bank.busy_until(a), SimTime::ZERO);
+        assert_eq!(bank.accounted_until(b), SimTime::from_millis(3));
+        bank.set_busy_until(a, SimTime::from_secs(1));
+        assert_eq!(bank.busy_until(a), SimTime::from_secs(1));
+        assert_eq!(bank.busy_until(b), SimTime::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power bank exhausted")]
+    fn claiming_past_capacity_panics() {
+        let mut bank: PowerBank<1> = PowerBank::new();
+        let _ = bank.lane(SimTime::ZERO);
+        let _ = bank.lane(SimTime::ZERO);
+    }
+
+    #[test]
+    fn phase_rows_accumulate_exactly() {
+        let mut bank: PowerBank<1> = PowerBank::new();
+        let lane = bank.lane(SimTime::ZERO);
+        bank.add_phase(lane, P_BUSY, SimDuration::from_micros(7));
+        bank.add_phase(lane, P_BUSY, SimDuration::from_nanos(1));
+        bank.add_phase(lane, P_SLEEP, SimDuration::from_millis(2));
+        assert_eq!(bank.phase(lane, P_BUSY), SimDuration::from_nanos(7_001));
+        assert_eq!(bank.phase(lane, P_SLEEP), SimDuration::from_millis(2));
+        assert_eq!(bank.phase(lane, P_DEEP), SimDuration::ZERO);
+        bank.add_sleep_episode(lane);
+        assert_eq!(bank.sleep_episodes(lane), 1);
+    }
+
+    #[test]
+    fn integrate_is_the_phase_dot_product() {
+        let mut bank: PowerBank<1> = PowerBank::new();
+        let lane = bank.lane(SimTime::ZERO);
+        bank.add_phase(lane, P_BUSY, SimDuration::from_millis(2));
+        bank.add_phase(lane, P_SLEEP, SimDuration::from_millis(10));
+        let powers = [
+            Power::from_watts(5.0),
+            Power::from_watts(5.0),
+            Power::from_watts(2.5),
+            Power::from_watts(1.5),
+            Power::from_watts(0.05),
+        ];
+        let e = bank.integrate(lane, &powers);
+        // 5 W × 2 ms + 1.5 W × 10 ms = 10 + 15 mJ.
+        assert!((e.as_millijoules() - 25.0).abs() < 1e-9);
+    }
+}

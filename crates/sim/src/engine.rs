@@ -109,6 +109,27 @@ impl<S> Engine<S> {
         }
     }
 
+    /// Creates an engine on the reference binary-heap queue backend
+    /// ([`EventQueue::reference_with_capacity`]). The run loop, clock, and
+    /// event contract are identical to [`Engine::with_capacity`]; only the
+    /// queue's complexity profile differs. The tier-1 equivalence suite
+    /// pins full-`RunResult` byte identity between the two.
+    #[must_use]
+    pub fn reference_with_capacity(events: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::reference_with_capacity(events),
+            executed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// `true` when this engine runs on the reference heap backend.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        self.queue.is_reference()
+    }
+
     /// The current simulated instant.
     #[must_use]
     pub fn now(&self) -> SimTime {
@@ -273,13 +294,20 @@ impl<S> Engine<S> {
     /// [`RunOutcome::HorizonReached`], the clock is advanced to exactly
     /// `horizon` (so time-weighted accounting can close out the interval) and
     /// later events remain pending.
+    ///
+    /// Same-tick entries are batch-drained: the loop peeks the frontier
+    /// time once per tick and then pops with
+    /// [`crate::queue::EventQueue::pop_at`] until the tick is exhausted —
+    /// one slot visit fires the whole tick instead of a peek/pop pair per
+    /// event. Events a handler schedules *at the current tick* join the
+    /// same drain (they get higher seqs, so they fire after everything
+    /// already pending at that tick), which is exactly the order the
+    /// pop-per-event loop produced.
+    // iotse-lint: hot-path
     pub fn run_until(&mut self, state: &mut S, horizon: SimTime) -> RunOutcome {
         self.stop_requested = false;
         loop {
-            if self.stop_requested {
-                return RunOutcome::Stopped;
-            }
-            match self.queue.peek_time() {
+            let t = match self.queue.peek_time() {
                 None => return RunOutcome::Drained,
                 Some(t) if t > horizon => {
                     if horizon != SimTime::MAX {
@@ -287,9 +315,18 @@ impl<S> Engine<S> {
                     }
                     return RunOutcome::HorizonReached;
                 }
-                Some(_) => {
-                    let fired = self.step(state);
-                    debug_assert!(fired);
+                Some(t) => t,
+            };
+            debug_assert!(t >= self.now);
+            self.now = t;
+            while let Some(scheduled) = self.queue.pop_at(t) {
+                self.executed += 1;
+                match scheduled.item.body {
+                    EventBody::Boxed(run) => run(state, self),
+                    EventBody::Call { f, a, b } => f(state, self, a, b),
+                }
+                if self.stop_requested {
+                    return RunOutcome::Stopped;
                 }
             }
         }

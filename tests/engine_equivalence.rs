@@ -1,0 +1,102 @@
+//! Timer wheel vs reference heap: full-`RunResult` equivalence.
+//!
+//! The timer-wheel event queue (this PR) replaced the binary heap on the
+//! engine's hot path. Its contract is that nothing observable changes:
+//! these tests run identical scenarios on both backends — the wheel via
+//! the default `Scenario`, the heap via `Scenario::with_reference_engine`
+//! — and compare complete `RunResult` values (ledgers, stats, counters,
+//! traces, telemetry) with `==`, across every scheme, at every fleet
+//! jobs level, and under the configurations that stress the queue
+//! hardest: dense fault storms and telemetry-on runs.
+
+use iotse::core::robustness::demo_scripts;
+use iotse::prelude::*;
+
+/// Every scheme, with an app mix that exercises per-sample, batched, and
+/// offloaded flows.
+fn matrix() -> Vec<(Scheme, Vec<AppId>)> {
+    vec![
+        (Scheme::Baseline, vec![AppId::A2, AppId::A7]),
+        (Scheme::Batching, vec![AppId::A2, AppId::A7]),
+        (Scheme::Com, vec![AppId::A2]),
+        (Scheme::Bcom, vec![AppId::A2, AppId::A7]),
+        (Scheme::Beam, vec![AppId::A11, AppId::A6]),
+    ]
+}
+
+fn scenario(scheme: Scheme, apps: &[AppId], seed: u64) -> Scenario {
+    Scenario::new(scheme, catalog::apps(apps, seed))
+        .windows(2)
+        .seed(seed)
+}
+
+#[test]
+fn wheel_and_reference_heap_agree_for_every_scheme() {
+    for (scheme, apps) in matrix() {
+        let wheel = scenario(scheme, &apps, 42).run();
+        let heap = scenario(scheme, &apps, 42).with_reference_engine().run();
+        assert_eq!(wheel, heap, "{scheme} x {apps:?}: backends diverged");
+    }
+}
+
+#[test]
+fn wheel_and_reference_heap_agree_at_every_jobs_level() {
+    let fleet_of = |reference: bool| {
+        matrix()
+            .into_iter()
+            .map(|(scheme, apps)| {
+                let s = scenario(scheme, &apps, 42);
+                if reference {
+                    s.with_reference_engine()
+                } else {
+                    s
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    let wheel_serial = run_fleet(fleet_of(false), 1);
+    for jobs in [1, 4, 8] {
+        let heap = run_fleet(fleet_of(true), jobs);
+        assert_eq!(wheel_serial.len(), heap.len());
+        for (i, (w, h)) in wheel_serial.iter().zip(&heap).enumerate() {
+            assert_eq!(
+                w, h,
+                "fleet slot {i} ({}): wheel vs heap diverged at --jobs {jobs}",
+                w.scheme
+            );
+        }
+    }
+}
+
+#[test]
+fn wheel_and_reference_heap_agree_under_the_demo_fault_storm() {
+    // The demo scripts include a 2 kHz interrupt storm — thousands of
+    // same-window events hammering the queue's tie-breaking.
+    for (scheme, apps) in matrix() {
+        let wheel = scenario(scheme, &apps, 42).faults(demo_scripts()).run();
+        let heap = scenario(scheme, &apps, 42)
+            .faults(demo_scripts())
+            .with_reference_engine()
+            .run();
+        assert_eq!(wheel, heap, "{scheme} x {apps:?}: faulted runs diverged");
+    }
+}
+
+#[test]
+fn wheel_and_reference_heap_agree_with_telemetry_and_observability_on() {
+    for (scheme, apps) in matrix() {
+        let configure = || {
+            scenario(scheme, &apps, 42)
+                .with_telemetry()
+                .with_metrics()
+                .with_trace()
+                .with_timeline()
+        };
+        let wheel = configure().run();
+        let heap = configure().with_reference_engine().run();
+        assert_eq!(
+            wheel, heap,
+            "{scheme} x {apps:?}: telemetry-on runs diverged"
+        );
+    }
+}

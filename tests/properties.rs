@@ -50,6 +50,119 @@ fn event_queue_orders_any_schedule() {
     });
 }
 
+/// The timer wheel is drained identically to the reference binary heap —
+/// seq-for-seq, time-for-time — under random schedule/pop interleavings
+/// mixing near-future, far-future (overflow-heap), and "past" times (at or
+/// before an already-advanced cursor), dense ties, and pushes issued
+/// mid-drain. This is the oracle that licenses swapping the engine's queue
+/// backend.
+#[test]
+fn timer_wheel_matches_reference_heap_on_any_interleaving() {
+    forall(150, |case, rng| {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::reference();
+        // Monotone low-water mark a real engine would impose (times are
+        // never scheduled before the last popped instant). Tracking it
+        // lets the generator aim pushes *at* the frontier — the "past"
+        // (≤ cursor) paths of the wheel — without violating the contract.
+        let mut frontier = SimTime::ZERO;
+        let ops = rng.gen_range(50..500u32);
+        for op in 0..ops {
+            let roll = rng.gen_range(0..100u32);
+            if roll < 35 && !heap.is_empty() {
+                let (a, b) = (wheel.pop(), heap.pop());
+                let b = b.expect("heap non-empty");
+                let a = a.expect("wheel drained early");
+                assert_eq!(
+                    (a.time, a.seq, a.item),
+                    (b.time, b.seq, b.item),
+                    "case {case} op {op}: pop diverged"
+                );
+                frontier = a.time;
+            } else if roll < 45 && !heap.is_empty() {
+                // pop_at: sometimes the due head, sometimes a miss.
+                let t = if rng.gen_bool(0.7) {
+                    heap.peek_time().expect("non-empty")
+                } else {
+                    frontier + SimDuration::from_nanos(rng.gen_range(0..1000u64))
+                };
+                let (a, b) = (wheel.pop_at(t), heap.pop_at(t));
+                match (&a, &b) {
+                    (Some(x), Some(y)) => assert_eq!(
+                        (x.time, x.seq, x.item),
+                        (y.time, y.seq, y.item),
+                        "case {case} op {op}: pop_at diverged"
+                    ),
+                    (None, None) => {}
+                    _ => panic!("case {case} op {op}: pop_at presence diverged"),
+                }
+                if let Some(s) = a {
+                    frontier = s.time;
+                }
+            } else {
+                // Push at a magnitude spanning every wheel level plus the
+                // overflow heap; ties land often at small magnitudes.
+                let magnitude = rng.gen_range(0..63u32);
+                let offset = rng.gen_range(0..(2u64 << magnitude));
+                let t = frontier.saturating_add(SimDuration::from_nanos(offset));
+                wheel.push(t, op);
+                heap.push(t, op);
+            }
+            assert_eq!(
+                wheel.peek_time(),
+                heap.peek_time(),
+                "case {case} op {op}: peek diverged"
+            );
+            assert_eq!(wheel.len(), heap.len(), "case {case} op {op}");
+        }
+        // Full drain must agree to the last entry.
+        while let Some(b) = heap.pop() {
+            let a = wheel.pop().expect("wheel drained early");
+            assert_eq!(
+                (a.time, a.seq, a.item),
+                (b.time, b.seq, b.item),
+                "case {case}: final drain diverged"
+            );
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+    });
+}
+
+/// Clearing either backend mid-flight preserves the shared sequence
+/// counter, and a reused queue orders a fresh schedule exactly like a new
+/// one.
+#[test]
+fn timer_wheel_clear_matches_reference_heap() {
+    forall(60, |case, rng| {
+        let mut wheel = EventQueue::new();
+        let mut heap = EventQueue::reference();
+        for i in 0..rng.gen_range(1..100u64) {
+            let magnitude = rng.gen_range(1..60u32);
+            let t = SimTime::from_nanos(rng.gen_range(0..1u64 << magnitude));
+            wheel.push(t, i);
+            heap.push(t, i);
+        }
+        for _ in 0..rng.gen_range(0..20u32) {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a.map(|s| (s.time, s.seq)), b.map(|s| (s.time, s.seq)));
+        }
+        wheel.clear();
+        heap.clear();
+        assert!(wheel.is_empty() && heap.is_empty());
+        assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+        for i in 0..rng.gen_range(1..50u64) {
+            let t = SimTime::from_nanos(rng.gen_range(0..1_000_000u64));
+            assert_eq!(wheel.push(t, i), heap.push(t, i), "case {case}");
+        }
+        while let Some(b) = heap.pop() {
+            let a = wheel.pop().expect("wheel drained early");
+            assert_eq!((a.time, a.seq, a.item), (b.time, b.seq, b.item));
+        }
+        assert!(wheel.is_empty());
+    });
+}
+
 /// Duration arithmetic is associative with respect to summation order.
 #[test]
 fn durations_sum_in_any_order() {
